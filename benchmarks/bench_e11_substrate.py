@@ -1,0 +1,88 @@
+"""E11 — substrate scalability (Section III.B's "Performance Optimization").
+
+The paper flags real-time policy generation/learning as an open
+challenge; this bench characterizes our substrate so the other
+experiments' costs are interpretable:
+
+* ASP solving time vs ground-program size (transitive closure family);
+* ASP enumeration vs answer-set count (choice-rule family);
+* ASG membership vs policy-string length;
+* policy generation (L(G(C)) enumeration) vs language size.
+"""
+
+import pytest
+
+from repro.asp import parse_program, solve
+from repro.asg import accepts, generate_policies, parse_asg
+
+
+def chain_program(n):
+    """Transitive closure over an n-node path graph."""
+    lines = [f"edge({i}, {i + 1})." for i in range(n)]
+    lines.append("path(X, Y) :- edge(X, Y).")
+    lines.append("path(X, Z) :- path(X, Y), edge(Y, Z).")
+    return parse_program("\n".join(lines))
+
+
+def choice_program(k):
+    atoms = "; ".join(f"a{i}" for i in range(k))
+    return parse_program(f"{{ {atoms} }}.")
+
+
+def list_asg(depth_tokens):
+    """Unbounded repetition grammar with a per-item attribute."""
+    return parse_asg(
+        """
+items -> item items
+items -> item
+item -> "go"   { ok. }
+item -> "stop" { ok. }
+"""
+    )
+
+
+class TestSolverScaling:
+    @pytest.mark.parametrize("n", [10, 20, 40])
+    def test_transitive_closure(self, n, benchmark):
+        program = chain_program(n)
+        models = benchmark.pedantic(
+            lambda: solve(program), rounds=3, iterations=1
+        )
+        assert len(models) == 1
+        assert len([a for a in models[0] if a.predicate == "path"]) == n * (n + 1) // 2
+
+    @pytest.mark.parametrize("k", [4, 8, 12])
+    def test_answer_set_enumeration(self, k, benchmark):
+        program = choice_program(k)
+        models = benchmark.pedantic(
+            lambda: solve(program), rounds=3, iterations=1
+        )
+        assert len(models) == 2**k
+
+
+class TestASGScaling:
+    @pytest.mark.parametrize("length", [2, 6, 12])
+    def test_membership_by_string_length(self, length, benchmark):
+        asg = list_asg(length)
+        tokens = ("go",) * length
+        result = benchmark(lambda: accepts(asg, tokens))
+        assert result
+
+    def test_generation_by_language_size(self, report, benchmark):
+        import time
+
+        asg = list_asg(0)
+        rows = []
+        for max_length in (4, 6, 8):
+            start = time.monotonic()
+            policies = generate_policies(asg, max_length=max_length)
+            rows.append((max_length, len(policies), time.monotonic() - start))
+        report(
+            "E11 — L(G) enumeration cost",
+            f"{'max len':>8} {'policies':>9} {'seconds':>8}",
+            *(f"{n:>8} {count:>9} {secs:>8.3f}" for n, count, secs in rows),
+        )
+        assert rows[-1][1] == 2**9 - 2  # binary strings of length 1..8
+        benchmark.pedantic(
+            lambda: generate_policies(asg, max_length=5), rounds=3, iterations=1
+        )

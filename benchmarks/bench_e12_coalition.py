@@ -1,0 +1,89 @@
+"""E12 — multi-party policy sharing over fragmented communications.
+
+Extension experiment (paper Sections I and III.B): coalition
+environments have unreliable links; this bench measures how policy
+propagation and trust convergence degrade with message loss.
+
+Expected shape: adoption falls monotonically (up to sampling noise) as
+the loss rate rises; with a zero-loss fabric every valid shared policy
+is adopted in one round.
+"""
+
+import pytest
+
+from repro.agenp import AutonomousManagedSystem, FieldInterpreter, PolicySpecification
+from repro.agenp.coalition import Coalition, CoalitionNetwork, CoalitionParty
+from repro.asp.atoms import Atom, Literal
+from repro.asp.terms import Constant
+from repro.core import Context
+from repro.learning import constraint_space
+from repro.policy import CategoricalDomain, DomainSchema
+
+GRAMMAR = """
+policy -> "allow" subject action
+subject -> "alice" { is(alice). }
+subject -> "bob"   { is(bob). }
+action  -> "read"  { is(read). }
+action  -> "write" { is(write). }
+"""
+
+
+def make_spec():
+    pool = [Literal(Atom("is", [Constant(n)], (2,)), True) for n in ("alice", "bob")]
+    pool += [Literal(Atom("is", [Constant(n)], (3,)), True) for n in ("read", "write")]
+    return PolicySpecification(
+        GRAMMAR, hypothesis_space=constraint_space(pool, prod_ids=(0,), max_body=2)
+    )
+
+
+def make_party(name, network):
+    ams = AutonomousManagedSystem(
+        name,
+        make_spec(),
+        FieldInterpreter({1: ("subject", "id"), 2: ("action", "id")}),
+        DomainSchema(
+            {
+                ("subject", "id"): CategoricalDomain(["alice", "bob"]),
+                ("action", "id"): CategoricalDomain(["read", "write"]),
+            }
+        ),
+    )
+    ams.bootstrap(Context.from_attributes({}, name="normal"))
+    return CoalitionParty(ams, network)
+
+
+def run_coalition(loss_rate, seed=0, parties=3):
+    network = CoalitionNetwork(loss_rate=loss_rate, seed=seed)
+    members = [make_party(f"ams{i}", network) for i in range(parties)]
+    coalition = Coalition(members)
+    results = coalition.round()
+    adopted = sum(a for a, __ in results.values())
+    return adopted, network
+
+
+def test_propagation_vs_loss(report, benchmark):
+    def run():
+        rows = []
+        for loss in (0.0, 0.3, 0.6, 0.9):
+            adopted, network = run_coalition(loss, seed=5)
+            rows.append((loss, adopted, network.sent, network.dropped))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "E12 — policy adoption in one sharing round vs link loss (3 parties)",
+        f"{'loss':>5} {'adopted':>8} {'sent':>5} {'dropped':>8}",
+        *(f"{loss:>5.1f} {adopted:>8} {sent:>5} {dropped:>8}" for loss, adopted, sent, dropped in rows),
+    )
+    adopted = [a for __, a, __s, __d in rows]
+    # zero loss: every party adopts every other party's 4 policies
+    assert adopted[0] == 3 * 2 * 4
+    # heavy loss adopts strictly less than lossless
+    assert adopted[-1] < adopted[0]
+
+
+def test_round_throughput(benchmark):
+    network = CoalitionNetwork()
+    members = [make_party(f"bench{i}", network) for i in range(3)]
+    coalition = Coalition(members)
+    benchmark.pedantic(coalition.round, rounds=3, iterations=1)

@@ -1,0 +1,102 @@
+"""E13 — ablations of design choices called out in DESIGN.md.
+
+* **Context placement** — Definition 3 adds the context program to
+  *every* production (``where='all'``); Section III.A describes adding
+  facts to the *start* productions only.  For rules that reference
+  context atoms unannotated at the root, the two agree; this ablation
+  measures the grounding-size/time cost of the literal Definition 3
+  reading.
+* **Statistical search guidance** (Section V.C) — candidate ordering
+  learned from past episodes vs the default cost order, measured by the
+  number of single-candidate probes until the first solution rule is
+  reached (a proxy for learner work that is independent of caching).
+"""
+
+import time
+
+import pytest
+
+from repro.asp.atoms import Atom, Literal
+from repro.asp.parser import parse_program
+from repro.asp.terms import Constant
+from repro.asg import accepts, parse_asg
+from repro.learning import constraint_space
+from repro.learning.guidance import SearchGuidance
+
+GRAMMAR = """
+policy -> "allow" subject action
+subject -> "alice" { is(alice). }
+subject -> "bob"   { is(bob). }
+action  -> "read"  { is(read). }
+action  -> "write" { is(write). }
+"""
+
+
+def pool(extra_context=("emergency", "lockdown")):
+    out = [Literal(Atom("is", [Constant(n)], (2,)), True) for n in ("alice", "bob")]
+    out += [Literal(Atom("is", [Constant(n)], (3,)), True) for n in ("read", "write")]
+    for name in extra_context:
+        out.append(Literal(Atom(name), True))
+        out.append(Literal(Atom(name), False))
+    return out
+
+
+def test_context_placement(report, benchmark):
+    asg = parse_asg(GRAMMAR)
+    rule = parse_program(":- is(bob)@2, not emergency.").rules[0]
+    learned = asg.with_rules([(rule, 0)])
+    context = parse_program("emergency. lockdown. zone(a). zone(b).")
+    tokens = ("allow", "bob", "read")
+
+    results = {}
+    for placement in ("all", "start"):
+        grammar = learned.with_context(context, where=placement)
+        start = time.monotonic()
+        for __ in range(50):
+            valid = accepts(grammar, tokens)
+        results[placement] = (valid, time.monotonic() - start)
+    report(
+        "E13 — context placement: Definition 3 ('all') vs Section III.A ('start')",
+        f"    all:   valid={results['all'][0]}  50 checks in {results['all'][1]:.3f}s",
+        f"    start: valid={results['start'][0]}  50 checks in {results['start'][1]:.3f}s",
+    )
+    # both placements agree for root-level rules
+    assert results["all"][0] == results["start"][0] is True
+    grammar = learned.with_context(context, where="start")
+    benchmark(lambda: accepts(grammar, tokens))
+
+
+def test_guidance_ordering(report, benchmark):
+    space = constraint_space(pool(), prod_ids=(0,), max_body=2)
+    # simulated episode history: cross-position attribute pairs win
+    guidance = SearchGuidance()
+    winners = [
+        c
+        for c in space
+        if len(c.rule.body) == 2
+        and {lit.atom.annotation for lit in c.rule.body} == {(2,), (3,)}
+    ]
+    for winner in winners:
+        guidance.record_episode(space, [winner])
+
+    target_keys = {w.key() for w in winners}
+
+    def probes_until_all_winners(candidates):
+        found = 0
+        for probes, candidate in enumerate(candidates, start=1):
+            if candidate.key() in target_keys:
+                found += 1
+                if found == len(winners):
+                    return probes
+        return len(candidates)
+
+    baseline = probes_until_all_winners(sorted(space, key=lambda c: c.cost))
+    guided = probes_until_all_winners(guidance.order(space, respect_cost=False))
+    report(
+        "E13 — statistical guidance: probes to enumerate all solution rules",
+        f"    cost-order baseline: {baseline} probes",
+        f"    guided order:        {guided} probes "
+        f"({baseline / max(guided, 1):.1f}x fewer)",
+    )
+    assert guided <= baseline
+    benchmark(lambda: guidance.order(space))

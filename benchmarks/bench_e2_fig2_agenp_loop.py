@@ -1,0 +1,97 @@
+"""E2 — Figure 2: the AGENP closed loop.
+
+Regenerates the architecture's lifecycle as measurable steps: bootstrap
+(refine + generate), request decision throughput, and a full
+monitor→feedback→adapt→regenerate cycle.
+
+Expected shape: decisions are cheap (policy evaluation only); the
+adaptation cycle is dominated by re-learning and stays interactive
+(well under a second) at this policy-space size.
+"""
+
+import pytest
+
+from repro.agenp import AutonomousManagedSystem, FieldInterpreter, PolicySpecification
+from repro.asp.atoms import Atom, Literal
+from repro.asp.terms import Constant
+from repro.core import Context
+from repro.learning import constraint_space
+from repro.policy import CategoricalDomain, Decision, DomainSchema, Request
+
+GRAMMAR = """
+policy -> "allow" subject action
+subject -> "alice" { is(alice). }
+subject -> "bob"   { is(bob). }
+action  -> "read"  { is(read). }
+action  -> "write" { is(write). }
+"""
+
+
+def make_spec():
+    pool = [Literal(Atom("is", [Constant(n)], (2,)), True) for n in ("alice", "bob")]
+    pool += [Literal(Atom("is", [Constant(n)], (3,)), True) for n in ("read", "write")]
+    return PolicySpecification(
+        GRAMMAR, hypothesis_space=constraint_space(pool, prod_ids=(0,), max_body=2)
+    )
+
+
+def make_ams():
+    ams = AutonomousManagedSystem(
+        "bench",
+        make_spec(),
+        FieldInterpreter({1: ("subject", "id"), 2: ("action", "id")}),
+        DomainSchema(
+            {
+                ("subject", "id"): CategoricalDomain(["alice", "bob"]),
+                ("action", "id"): CategoricalDomain(["read", "write"]),
+            }
+        ),
+    )
+    ams.bootstrap(Context.from_attributes({}, name="normal"))
+    return ams
+
+
+def test_bootstrap(report, benchmark):
+    ams = benchmark(make_ams)
+    report(
+        "E2 / Figure 2 — bootstrap",
+        f"    policies generated: {len(ams.policy_repository)}",
+        f"    model version: {ams.model().version}",
+    )
+    assert len(ams.policy_repository) == 4
+
+
+def test_decision_throughput(report, benchmark):
+    ams = make_ams()
+    request = Request({"subject": {"id": "alice"}, "action": {"id": "read"}})
+    record = benchmark(lambda: ams.decide(request))
+    assert record.decision is Decision.PERMIT
+    report(
+        "E2 — decision latency benchmarked above "
+        "(one PDP evaluation over the active policy set)"
+    )
+
+
+def test_full_adaptation_cycle(report, benchmark):
+    def cycle():
+        ams = make_ams()
+        bad = ams.decide(Request({"subject": {"id": "bob"}, "action": {"id": "write"}}))
+        for subject, action in (("alice", "read"), ("alice", "write"), ("bob", "read")):
+            good = ams.decide(
+                Request({"subject": {"id": subject}, "action": {"id": action}})
+            )
+            ams.give_feedback(good, ok=True)
+        ams.give_feedback(bad, ok=False)
+        adapted = ams.adapt_if_needed()
+        return ams, adapted
+
+    ams, adapted = benchmark.pedantic(cycle, rounds=3, iterations=1)
+    assert adapted
+    after = ams.decide(Request({"subject": {"id": "bob"}, "action": {"id": "write"}}))
+    assert after.decision is Decision.DENY
+    report(
+        "E2 — full monitor->feedback->adapt->regenerate cycle",
+        f"    model version after adaptation: {ams.model().version}",
+        f"    active policies: {len(ams.policy_repository)}",
+        f"    bob/write now: {after.decision.value}",
+    )

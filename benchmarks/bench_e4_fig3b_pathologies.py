@@ -1,0 +1,229 @@
+"""E4 — Figure 3b: incorrect learning and the paper's mitigations.
+
+Three pathology/mitigation pairs, each measured as semantic accuracy
+against the relevant ground truth:
+
+* **overfitting** (narrow logs) vs the statistics/background-knowledge
+  mitigation (``prefer_general``);
+* **unsafe generalization** (rare per-user grants) vs the target-based
+  restriction (``require_target``), measured as grant *leakage* to
+  ungrated users;
+* **noisy datasets** (flips, NotApplicable responses) vs dataset
+  filtering.
+
+Expected shape: every pathology hurts; every mitigation recovers most
+or all of the loss — the "if X were provided, the learner would be able
+to generate Y" claims of the Figure 3b discussion.
+"""
+
+import pytest
+
+from repro.apps.xacml_case_study import XacmlLearningPipeline, semantic_accuracy
+from repro.datasets import (
+    default_ground_truth,
+    inject_flips,
+    inject_not_applicable,
+    per_user_ground_truth,
+    sample_log,
+)
+from repro.policy import Decision, Request
+
+
+def _transfer_requests():
+    """Requests from users *not* in the narrow log but whose roles are
+    observed (u2 is a dba like u1; u6 a guest like u5) — the population
+    an overfitted, user-specific policy fails to transfer to."""
+    from repro.datasets.xacml_conformance import ACTIONS, RESOURCE_TYPES, USER_ROLES
+
+    out = []
+    for user in ("u2", "u6"):
+        for action in ACTIONS:
+            for rtype in RESOURCE_TYPES:
+                out.append(
+                    Request(
+                        {
+                            "subject": {"id": user, "role": USER_ROLES[user]},
+                            "action": {"id": action},
+                            "resource": {"type": rtype},
+                        }
+                    )
+                )
+    return out
+
+
+def test_overfitting_and_statistics_mitigation(report, benchmark):
+    ground_truth = default_ground_truth()
+    transfer = _transfer_requests()
+
+    def run():
+        rows = []
+        for seed in (2, 12, 22):
+            narrow = sample_log(ground_truth, 40, seed=seed, users=("u1", "u5"))
+            # ILASP-style learners return *some* cost-minimal hypothesis;
+            # prefer_specific selects the user-identity one among the
+            # optima (the overfitted Figure 3b outcome), prefer_general
+            # is the paper's statistics/background-knowledge mitigation.
+            unlucky = XacmlLearningPipeline(prefer_specific=True).learn(narrow)
+            mitigated = XacmlLearningPipeline(prefer_general=True).learn(narrow)
+            rows.append(
+                (
+                    seed,
+                    semantic_accuracy(unlucky, ground_truth, transfer),
+                    semantic_accuracy(mitigated, ground_truth, transfer),
+                    any("user(" in t for t in unlucky.rule_texts()),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "E4 / Fig 3b Policy 1 — overfitting: transfer accuracy to unseen",
+        "users of observed roles (u2, u6), trained on u1/u5 only",
+        f"{'seed':>5} {'overfit tie-break':>18} {'prefer-general':>15}",
+        *(f"{seed:>5} {a:>18.3f} {b:>15.3f}" for seed, a, b, __ in rows),
+    )
+    # the overfitted optimum exists and does not transfer...
+    assert any(user_specific for __, __a, __b, user_specific in rows)
+    assert any(a < 1.0 for __, a, __b, __u in rows)
+    # ...while the mitigation always recovers role-level generalization
+    assert all(b == 1.0 for __, __a, b, __u in rows)
+    assert all(b >= a for __, a, b, __u in rows)
+
+
+def _leakage(model, granted=("u1",)):
+    """Fraction of non-granted users who wrongly receive the write grant."""
+    from repro.datasets.xacml_conformance import USER_ROLES, USERS
+
+    others = [u for u in USERS if u not in granted and USER_ROLES[u] == "dba"]
+    leaked = 0
+    for user in others:
+        request = Request(
+            {
+                "subject": {"id": user, "role": USER_ROLES[user]},
+                "action": {"id": "write"},
+                "resource": {"type": "db"},
+            }
+        )
+        if model.decide(request) is Decision.PERMIT:
+            leaked += 1
+    return leaked / len(others) if others else 0.0
+
+
+def test_unsafe_generalization_and_target_restriction(report, benchmark):
+    grants = per_user_ground_truth(["u1"])
+
+    def run():
+        rows = []
+        for seed in (3, 13, 23):
+            # The paper's setup: "an organization has many users with the
+            # DBA role while the example dataset shows that only few of
+            # these users were granted" — the log shows u1 only, so the
+            # other DBA (u2) provides no counter-evidence and a
+            # role-level generalization is consistent with the log.
+            log = sample_log(grants, 50, seed=seed, users=("u1",))
+            unrestricted = XacmlLearningPipeline(max_body=3).learn(log)
+            restricted = XacmlLearningPipeline(
+                max_body=3, require_target=True
+            ).learn(log)
+            rows.append((seed, _leakage(unrestricted), _leakage(restricted)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "E4 / Fig 3b Policy 2 — unsafe generalization of per-user grants",
+        "(log shows only u1 of the dba role; leakage = grant reaching u2)",
+        f"{'seed':>5} {'leakage (plain)':>16} {'leakage (restricted)':>21}",
+        *(f"{seed:>5} {a:>16.3f} {b:>21.3f}" for seed, a, b in rows),
+    )
+    # without counter-evidence, an unrestricted learner *can* leak the
+    # grant to the whole role on at least one run...
+    assert any(a > 0.0 for __, a, __b in rows)
+    # ...while the target-based restriction never does
+    assert all(b == 0.0 for __, __a, b in rows)
+
+
+def test_noise_and_filtering(report, benchmark):
+    ground_truth = default_ground_truth()
+
+    def run():
+        rows = []
+        for rate in (0.0, 0.1, 0.2):
+            base = sample_log(ground_truth, 60, seed=4)
+            noisy = (
+                inject_flips(base, rate=rate, seed=4)
+                + sample_log(ground_truth, 60, seed=5)
+                + sample_log(ground_truth, 60, seed=6)
+            )
+            # strict = the paper's plain learner: inconsistent data means
+            # no consistent hypothesis exists -> learning collapses
+            strict = XacmlLearningPipeline(strict=True).learn(noisy)
+            # tolerant = our noise-budget learner (no filtering)
+            tolerant = XacmlLearningPipeline().learn(noisy)
+            filtered = XacmlLearningPipeline(filter_noise=True).learn(noisy)
+            rows.append(
+                (
+                    rate,
+                    semantic_accuracy(strict, ground_truth),
+                    semantic_accuracy(tolerant, ground_truth),
+                    semantic_accuracy(filtered, ground_truth),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "E4 / Fig 3b Policy 3a — decision flips: strict learner vs",
+        "violation-tolerant learner vs majority filtering",
+        f"{'flip rate':>10} {'strict':>7} {'tolerant':>9} {'filtered':>9}",
+        *(
+            f"{rate:>10.2f} {s:>7.3f} {t:>9.3f} {f:>9.3f}"
+            for rate, s, t, f in rows
+        ),
+    )
+    # clean data: everyone perfect
+    assert rows[0][1] == rows[0][2] == rows[0][3] == 1.0
+    # noisy data: the strict learner collapses ("patterns being missed"),
+    # filtering (and the tolerant budget) restore accuracy
+    assert all(s < 1.0 for __, s, __t, __f in rows[1:])
+    assert all(f == 1.0 for __, __s, __t, f in rows)
+    assert all(t >= s for __, s, t, __f in rows)
+
+
+def test_not_applicable_and_filtering(report, benchmark):
+    """Two halves of the Policy 3 story.
+
+    *Failure mode*: a realistic PDP log where every gap request carries
+    NotApplicable (systematic, via ``mark_gaps_not_applicable``); a
+    learner allowed to treat it as a decision invents
+    ``decision(not_applicable)`` rules.
+
+    *Mitigation*: with sporadic NotApplicable noise, pruning irrelevant
+    responses restores a proper permit/deny model.
+    """
+    from repro.datasets import mark_gaps_not_applicable
+
+    ground_truth = default_ground_truth()
+    realistic = mark_gaps_not_applicable(
+        sample_log(ground_truth, 60, seed=7), ground_truth
+    )
+    sporadic = inject_not_applicable(
+        sample_log(ground_truth, 60, seed=8), rate=0.3, seed=8
+    )
+
+    def run():
+        failure = XacmlLearningPipeline(allow_irrelevant_head=True).learn(realistic)
+        clean = XacmlLearningPipeline(filter_noise=True).learn(sporadic)
+        return failure, clean
+
+    failure_mode, filtered = benchmark.pedantic(run, rounds=1, iterations=1)
+    learned_na = any("not_applicable" in t for t in failure_mode.rule_texts())
+    filtered_accuracy = semantic_accuracy(filtered, ground_truth)
+    report(
+        "E4 / Fig 3b Policy 3b — irrelevant (NotApplicable) responses",
+        f"    failure mode learned a not_applicable rule: {learned_na}",
+        *(f"        {t}" for t in failure_mode.rule_texts()),
+        f"    filtered semantic accuracy (sporadic noise): {filtered_accuracy:.3f}",
+    )
+    assert learned_na
+    assert all("not_applicable" not in t for t in filtered.rule_texts())
+    assert filtered_accuracy >= 0.9

@@ -1,0 +1,90 @@
+"""E5 — Section IV.A: ASG-GPM vs shallow ML learning curves (CAV domain).
+
+The paper (citing Cunnington et al. [25]): "the ASG based GPM
+outperforms shallow Machine Learning techniques when learning complex
+policy models, as fewer examples are required to achieve a greater
+accuracy."
+
+Expected shape: the symbolic learner's curve dominates at small sample
+counts and saturates at 1.0 with far fewer examples; the shallow
+baselines climb slower and may never reach 1.0 at these sizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.cav import CavSymbolicLearner, sample_scenarios
+from repro.baselines import (
+    BernoulliNaiveBayes,
+    DecisionTreeClassifier,
+    KNNClassifier,
+    LogisticRegression,
+    OneHotEncoder,
+)
+from repro.learning import accuracy
+
+BASELINES = {
+    "dtree": DecisionTreeClassifier,
+    "nbayes": BernoulliNaiveBayes,
+    "logreg": LogisticRegression,
+    "3nn": KNNClassifier,
+}
+
+SIZES = (8, 16, 32, 64)
+
+
+def shallow_accuracy(cls, train, test, labels):
+    encoder = OneHotEncoder().fit([s.features() for s, __ in train])
+    X_train = encoder.transform([s.features() for s, __ in train])
+    y_train = np.array([int(label) for __, label in train])
+    model = cls().fit(X_train, y_train)
+    X_test = encoder.transform([s.features() for s, __ in test])
+    return accuracy([bool(p) for p in model.predict(X_test)], labels)
+
+
+def _curves():
+    test = sample_scenarios(200, seed=2024)
+    labels = [label for __, label in test]
+    scenarios = [s for s, __ in test]
+    table = {}
+    for n in SIZES:
+        train = sample_scenarios(n, seed=7)
+        symbolic = CavSymbolicLearner().fit(train)
+        row = {"asg-gpm": accuracy(symbolic.predict(scenarios), labels)}
+        for name, cls in BASELINES.items():
+            row[name] = shallow_accuracy(cls, train, test, labels)
+        table[n] = row
+    return table
+
+
+def test_learning_curves(report, benchmark):
+    curves = benchmark.pedantic(_curves, rounds=1, iterations=1)
+    names = ["asg-gpm"] + list(BASELINES)
+    header = f"{'n':>4}" + "".join(f"{name:>10}" for name in names)
+    rows = [
+        f"{n:>4}" + "".join(f"{curves[n][name]:>10.3f}" for name in names)
+        for n in SIZES
+    ]
+    report("E5 — CAV accept/reject learning curves (test accuracy)", header, *rows)
+
+    # shape 1: symbolic dominates every baseline at every size
+    for n in SIZES:
+        for name in BASELINES:
+            assert curves[n]["asg-gpm"] >= curves[n][name] - 1e-9
+    # shape 2: symbolic saturates (>= 0.98) by n=32
+    assert curves[32]["asg-gpm"] >= 0.98
+    # shape 3: at the same point at least one baseline is still clearly behind
+    assert min(curves[32][name] for name in BASELINES) < 0.95
+
+
+def test_symbolic_fit_time(benchmark):
+    train = sample_scenarios(32, seed=7)
+    benchmark.pedantic(lambda: CavSymbolicLearner().fit(train), rounds=3, iterations=1)
+
+
+def test_shallow_fit_time(benchmark):
+    train = sample_scenarios(32, seed=7)
+    encoder = OneHotEncoder().fit([s.features() for s, __ in train])
+    X = encoder.transform([s.features() for s, __ in train])
+    y = np.array([int(label) for __, label in train])
+    benchmark(lambda: DecisionTreeClassifier().fit(X, y))

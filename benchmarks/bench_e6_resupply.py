@@ -1,0 +1,80 @@
+"""E6 — Section IV.B: resupply learning from accumulated missions.
+
+Expected shapes:
+
+* accuracy grows (noise aside) with the number of completed missions —
+  "the coalition is able to learn from previous experience";
+* execution-phase training (real-time values) is at least as good as
+  planning-phase training (speculative values) once drift is non-zero.
+"""
+
+import pytest
+
+from repro.apps.resupply import ResupplyLearner, simulate_missions
+
+MISSION_COUNTS = (3, 6, 12, 24)
+DRIFT = 0.25
+
+
+def _curves():
+    test = simulate_missions(60, seed=4242, drift=DRIFT)
+    table = {}
+    for phase in ("execution", "planning"):
+        series = []
+        for n in MISSION_COUNTS:
+            learner = ResupplyLearner(phase=phase)
+            learner.observe(simulate_missions(n, seed=11, drift=DRIFT))
+            learner.fit()
+            series.append(learner.accuracy(test))
+        table[phase] = series
+    return table
+
+
+def test_mission_accumulation(report, benchmark):
+    curves = benchmark.pedantic(_curves, rounds=1, iterations=1)
+    report(
+        "E6 — resupply route-viability accuracy vs missions flown",
+        f"{'missions':>9} {'execution':>10} {'planning':>9}",
+        *(
+            f"{n:>9} {curves['execution'][i]:>10.3f} {curves['planning'][i]:>9.3f}"
+            for i, n in enumerate(MISSION_COUNTS)
+        ),
+    )
+    execution = curves["execution"]
+    # shape 1: more missions never hurt much (monotone up to small noise)
+    assert execution[-1] >= execution[0]
+    assert execution[-1] >= 0.95
+    # shape 2: execution-phase data at least matches speculative planning data
+    assert execution[-1] >= curves["planning"][-1] - 1e-9
+
+
+def test_phase_gap_grows_with_drift(report, benchmark):
+    def run():
+        rows = []
+        for drift in (0.0, 0.2, 0.4):
+            test = simulate_missions(40, seed=999, drift=drift)
+            accs = {}
+            for phase in ("execution", "planning"):
+                learner = ResupplyLearner(phase=phase)
+                learner.observe(simulate_missions(20, seed=13, drift=drift))
+                learner.fit()
+                accs[phase] = learner.accuracy(test)
+            rows.append((drift, accs["execution"], accs["planning"]))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "E6 — planning vs execution accuracy as condition drift grows",
+        f"{'drift':>6} {'execution':>10} {'planning':>9}",
+        *(f"{d:>6.1f} {e:>10.3f} {p:>9.3f}" for d, e, p in rows),
+    )
+    # at zero drift the phases see identical data
+    assert abs(rows[0][1] - rows[0][2]) < 0.05
+    # with drift, execution data is at least as informative
+    assert rows[-1][1] >= rows[-1][2] - 0.05
+
+
+def test_fit_time(benchmark):
+    learner = ResupplyLearner(phase="execution")
+    learner.observe(simulate_missions(12, seed=11, drift=DRIFT))
+    benchmark.pedantic(learner.fit, rounds=3, iterations=1)

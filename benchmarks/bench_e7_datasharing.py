@@ -1,0 +1,68 @@
+"""E7 — Section IV.D: data-sharing policies with helper microservices.
+
+Learns "which microservice to use for which context and data" (the
+research direction the paper highlights for Verma et al.'s system) and
+sweeps training-set size.
+
+Expected shape: routing accuracy rises to 1.0 with a few dozen offers;
+every decision the learned model makes on the training distribution is
+one of the legal strings (refusals included).
+"""
+
+import pytest
+
+from repro.apps.datasharing import (
+    DataOffer,
+    HELPERS,
+    HelperSelectionLearner,
+    sample_offers,
+)
+
+SIZES = (6, 12, 24, 48)
+
+
+def _curve():
+    test = sample_offers(120, seed=42)
+    series = []
+    for n in SIZES:
+        learner = HelperSelectionLearner().fit(sample_offers(n, seed=1))
+        series.append((n, learner.accuracy(test)))
+    return series
+
+
+def test_routing_accuracy_curve(report, benchmark):
+    curve = benchmark.pedantic(_curve, rounds=1, iterations=1)
+    report(
+        "E7 — helper-microservice routing accuracy vs training offers",
+        f"{'offers':>7} {'accuracy':>9}",
+        *(f"{n:>7} {acc:>9.3f}" for n, acc in curve),
+    )
+    accuracies = [acc for __, acc in curve]
+    assert accuracies[-1] >= 0.95
+    assert accuracies[-1] >= accuracies[0]
+
+
+def test_specific_routings(report, benchmark):
+    offers = sample_offers(40, seed=1)
+    learner = benchmark.pedantic(
+        lambda: HelperSelectionLearner().fit(offers), rounds=1, iterations=1
+    )
+    cases = [
+        DataOffer("trusted", "imagery", "high", "high"),
+        DataOffer("untrusted", "signal", "high", "low"),
+        DataOffer("trusted", "document", "low", "high"),
+        DataOffer("untrusted", "imagery", "low", "low"),
+    ]
+    lines = []
+    for offer in cases:
+        decision = learner.decide(offer)
+        lines.append(f"    {offer} -> {' '.join(decision)}")
+        assert decision == learner.correct_string(offer)
+    report("E7 — learned routing decisions", *lines)
+
+
+def test_fit_time(benchmark):
+    offers = sample_offers(24, seed=1)
+    benchmark.pedantic(
+        lambda: HelperSelectionLearner().fit(offers), rounds=3, iterations=1
+    )

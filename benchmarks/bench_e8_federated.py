@@ -1,0 +1,74 @@
+"""E8 — Section IV.E: federated-learning governance.
+
+Simulates a coalition sharing regression insights under four
+strategies and reports global-model test error.
+
+Expected shape: learned symbolic governance ≈ oracle governance,
+clearly better than naive combine-everything (poisoned updates) and
+better than reject-everything (wasted trusted insights).
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.federated import (
+    FederatedSimulation,
+    GovernanceLearner,
+    PartnerSpec,
+    correct_action,
+    sample_insight_offers,
+)
+
+PARTNERS = [
+    PartnerSpec("ally_1", True, True, False, 80),
+    PartnerSpec("ally_2", True, True, False, 80),
+    PartnerSpec("drifted_ally", True, False, False, 80),
+    PartnerSpec("shady_vendor", False, True, False, 80),
+    PartnerSpec("attacker", False, False, True, 80),
+]
+
+
+@pytest.fixture(scope="module")
+def governor():
+    return GovernanceLearner().fit(sample_insight_offers(30, seed=1))
+
+
+def _table(governor):
+    strategies = {
+        "learned": governor.decide,
+        "oracle": correct_action,
+        "combine-all": lambda offer: "combine",
+        "reject-all": lambda offer: "reject",
+    }
+    results = {name: [] for name in strategies}
+    for seed in range(8):
+        sim = FederatedSimulation(PARTNERS, seed=seed, noise=1.0)
+        for name, decide in strategies.items():
+            results[name].append(sim.run_round(decide)["mse"])
+    return {name: float(np.mean(values)) for name, values in results.items()}
+
+
+def test_governance_table(report, governor, benchmark):
+    table = benchmark.pedantic(lambda: _table(governor), rounds=1, iterations=1)
+    report(
+        "E8 — global-model test MSE by governance strategy (8 coalitions)",
+        *(f"    {name:>12}: {mse:.3f}" for name, mse in table.items()),
+        f"    learned-policy accuracy vs doctrine: "
+        f"{governor.accuracy(sample_insight_offers(100, seed=9)):.3f}",
+    )
+    # who wins and by what factor:
+    assert table["learned"] < table["combine-all"] / 2
+    assert table["learned"] < table["reject-all"]
+    assert table["learned"] <= table["oracle"] * 1.25 + 0.1
+
+
+def test_governance_fit_time(benchmark):
+    offers = sample_insight_offers(30, seed=1)
+    benchmark.pedantic(
+        lambda: GovernanceLearner().fit(offers), rounds=3, iterations=1
+    )
+
+
+def test_round_time(governor, benchmark):
+    sim = FederatedSimulation(PARTNERS, seed=0, noise=1.0)
+    benchmark(lambda: sim.run_round(governor.decide))

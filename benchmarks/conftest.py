@@ -1,0 +1,23 @@
+"""Shared benchmark utilities.
+
+Each benchmark module regenerates one of the paper's tables/figures
+(see DESIGN.md's experiment index).  Timing comes from pytest-benchmark;
+the reproduced rows/series are printed straight to the terminal via the
+``report`` fixture so they appear in ``bench_output.txt`` even under
+pytest's output capturing.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print experiment tables to the real terminal, bypassing capture."""
+
+    def _print(*lines):
+        with capsys.disabled():
+            print()
+            for line in lines:
+                print(line)
+
+    return _print

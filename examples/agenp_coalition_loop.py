@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""The full AGENP architecture (paper Figure 2) on a two-party coalition.
+
+Two Autonomous Managed Systems run the complete closed loop:
+
+    bootstrap -> decide -> enforce -> monitor -> feedback -> adapt
+              -> regenerate -> share via CASWiki -> import with PCP checks
+
+Run:  python examples/agenp_coalition_loop.py
+"""
+
+from repro.agenp import (
+    AutonomousManagedSystem,
+    CASWiki,
+    FieldInterpreter,
+    PolicySpecification,
+)
+from repro.asp.atoms import Atom, Literal
+from repro.asp.terms import Constant
+from repro.core import Context, LabeledExample
+from repro.learning import constraint_space
+from repro.policy import CategoricalDomain, DomainSchema, Request
+
+GRAMMAR = """
+policy -> "allow" subject action
+subject -> "scout_uav"  { is(scout_uav). }
+subject -> "cargo_ugv"  { is(cargo_ugv). }
+action  -> "patrol"     { is(patrol). }
+action  -> "resupply"   { is(resupply). }
+"""
+
+
+def build_spec() -> PolicySpecification:
+    pool = [Literal(Atom("is", [Constant(n)], (2,)), True) for n in ("scout_uav", "cargo_ugv")]
+    pool += [Literal(Atom("is", [Constant(n)], (3,)), True) for n in ("patrol", "resupply")]
+    pool += [Literal(Atom("contested"), sign) for sign in (True, False)]
+    return PolicySpecification(
+        GRAMMAR,
+        goals=["complete resupply missions without losses"],
+        hypothesis_space=constraint_space(pool, prod_ids=(0,), max_body=3),
+    )
+
+
+def main() -> None:
+    spec = build_spec()
+    interpreter = FieldInterpreter({1: ("subject", "id"), 2: ("action", "id")})
+    schema = DomainSchema(
+        {
+            ("subject", "id"): CategoricalDomain(["scout_uav", "cargo_ugv"]),
+            ("action", "id"): CategoricalDomain(["patrol", "resupply"]),
+        }
+    )
+
+    alpha = AutonomousManagedSystem("alpha", spec, interpreter, schema)
+    bravo = AutonomousManagedSystem("bravo", spec, interpreter, schema)
+    quiet = Context.from_attributes({}, name="quiet_sector")
+    for ams in (alpha, bravo):
+        installed = ams.bootstrap(quiet)
+        print(f"[{ams.name}] bootstrapped with {len(installed)} policies")
+
+    # --- serve requests, observe outcomes --------------------------------
+    risky = Request({"subject": {"id": "cargo_ugv"}, "action": {"id": "patrol"}})
+    record = alpha.decide(risky)
+    result = alpha.pep.enforce(record, "patrol-sweep")
+    print(f"[alpha] cargo_ugv patrol: {record.decision.value} -> executed={result.executed}")
+
+    # the day's other missions went fine — confirm them
+    for subject, action in (("scout_uav", "patrol"), ("cargo_ugv", "resupply"),
+                            ("scout_uav", "resupply")):
+        ok_record = alpha.decide(
+            Request({"subject": {"id": subject}, "action": {"id": action}})
+        )
+        alpha.give_feedback(ok_record, ok=True)
+
+    # after-action review: the cargo vehicle is not survivable on patrol
+    alpha.give_feedback(record, ok=False)
+    if alpha.adapt_if_needed():
+        print(f"[alpha] adapted to model v{alpha.model().version}; "
+              f"{len(alpha.policy_repository)} policies remain")
+    print(f"[alpha] cargo_ugv patrol now: {alpha.decide(risky).decision.value}")
+    safe = Request({"subject": {"id": "cargo_ugv"}, "action": {"id": "resupply"}})
+    print(f"[alpha] cargo_ugv resupply still: {alpha.decide(safe).decision.value}")
+
+    # --- context change: contested sector -------------------------------
+    contested = Context.from_attributes({"contested": True}, name="contested_sector")
+    alpha.add_example(
+        LabeledExample(("allow", "scout_uav", "resupply"), contested, valid=False)
+    )
+    alpha.add_example(
+        LabeledExample(("allow", "scout_uav", "patrol"), contested, valid=True)
+    )
+    alpha.padap.adapt()
+    alpha.set_context(contested)
+    alpha.refresh_policies()
+    print(f"[alpha] in contested sector, scout_uav resupply: "
+          f"{alpha.decide(Request({'subject': {'id': 'scout_uav'}, 'action': {'id': 'resupply'}})).decision.value}")
+
+    # --- community sharing ------------------------------------------------
+    wiki = CASWiki()
+    alpha.set_context(quiet)
+    alpha.refresh_policies()
+    alpha.share(wiki)
+    print(f"[wiki] {len(wiki)} contributions from alpha "
+          f"(trust={wiki.trust('alpha'):.2f})")
+    adopted, rejected = bravo.import_shared(wiki, min_trust=0.0)
+    print(f"[bravo] adopted {len(adopted)} shared policies, rejected {len(rejected)}")
+    print(f"[wiki] alpha's trust after bravo's ratings: {wiki.trust('alpha'):.2f}")
+
+    # --- quality report on the active policy set ---------------------------
+    report = alpha.pcp.quality_report(alpha.policy_repository.all())
+    print(f"[alpha] policy quality: {report!r}")
+
+
+if __name__ == "__main__":
+    main()

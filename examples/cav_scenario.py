@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""CAV driving-task policies: symbolic GPM vs shallow ML (paper Section IV.A).
+
+Reproduces the paper's claim in miniature: the ASG-based GPM reaches
+higher accuracy with fewer examples than shallow ML baselines, and the
+learned model is *readable* — it prints the actual constraints.
+
+Run:  python examples/cav_scenario.py
+"""
+
+import numpy as np
+
+from repro.apps.cav import CavScenario, CavSymbolicLearner, sample_scenarios
+from repro.baselines import (
+    BernoulliNaiveBayes,
+    DecisionTreeClassifier,
+    KNNClassifier,
+    LogisticRegression,
+    OneHotEncoder,
+)
+from repro.learning import accuracy
+
+
+def shallow_accuracy(cls, train, test, labels):
+    encoder = OneHotEncoder().fit([s.features() for s, __ in train])
+    X_train = encoder.transform([s.features() for s, __ in train])
+    y_train = np.array([int(label) for __, label in train])
+    model = cls().fit(X_train, y_train)
+    X_test = encoder.transform([s.features() for s, __ in test])
+    return accuracy([bool(p) for p in model.predict(X_test)], labels)
+
+
+def main() -> None:
+    test = sample_scenarios(150, seed=2024)
+    labels = [label for __, label in test]
+    sizes = [8, 16, 32, 64]
+    baselines = {
+        "decision-tree": DecisionTreeClassifier,
+        "naive-bayes": BernoulliNaiveBayes,
+        "logistic-reg": LogisticRegression,
+        "3-nn": KNNClassifier,
+    }
+
+    header = f"{'n':>4}  {'ASG-GPM':>8}" + "".join(f"{name:>14}" for name in baselines)
+    print(header)
+    print("-" * len(header))
+    for n in sizes:
+        train = sample_scenarios(n, seed=7)
+        symbolic = CavSymbolicLearner().fit(train)
+        row = [accuracy(symbolic.predict([s for s, __ in test]), labels)]
+        for cls in baselines.values():
+            row.append(shallow_accuracy(cls, train, test, labels))
+        print(f"{n:>4}  " + "".join(f"{value:>13.3f} " for value in row))
+
+    print("\nConstraints the symbolic learner found at n=64 "
+          "(this is the explainability dividend):")
+    learner = CavSymbolicLearner().fit(sample_scenarios(64, seed=7))
+    for constraint in learner.learned_constraints():
+        print("   ", constraint)
+
+    scenario = CavScenario("overtake", vehicle_loa=4, region_loa=5, weather="snow", time_of_day="day")
+    print(f"\nOvertake at LOA 4 in snow -> accept? {learner.predict_one(scenario)}")
+
+
+if __name__ == "__main__":
+    main()

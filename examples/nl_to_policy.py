@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Natural language to grammar-based policies (paper Section III.B).
+
+An operator writes coalition policy intents in controlled English; the
+synthesizer compiles them into an initial ASG (syntax + hard
+constraints) and a hypothesis space; the learner then refines the model
+from operational examples — NL seeds the model, experience sharpens it.
+
+Run:  python examples/nl_to_policy.py
+"""
+
+from repro.asp import parse_program
+from repro.asg import explain_rejection, generate_policies
+from repro.core import Context, GenerativePolicyModel, LabeledExample, learn_gpm
+from repro.nl import GrammarSynthesizer, Vocabulary, parse_intents
+
+
+def main() -> None:
+    vocabulary = Vocabulary(
+        subjects={
+            "scout_uav": ["scout", "scout drone", "reconnaissance drone"],
+            "cargo_ugv": ["cargo vehicle", "supply vehicle"],
+            "medevac": ["medical evacuation unit", "medevac helicopter"],
+        },
+        actions={
+            "cross_border": ["cross the border", "border crossing"],
+            "transmit": ["broadcast", "send telemetry"],
+            "night_operation": ["operate at night", "night ops"],
+        },
+        conditions={
+            "ceasefire": ["a ceasefire", "the ceasefire holds"],
+            "jamming": ["the adversary is jamming", "jamming is active"],
+        },
+    )
+
+    intents_text = [
+        "Scout drones must not cross the border unless a ceasefire",
+        "Cargo vehicles may transmit",
+        "Forbid cargo vehicles from night ops",
+        "Allow the medevac helicopter to cross the border",
+        "Scout drones must not broadcast while jamming is active",
+    ]
+    print("Operator intents:")
+    for line in intents_text:
+        print("   ", line)
+
+    intents = parse_intents(intents_text, vocabulary)
+    print("\nParsed:")
+    for intent in intents:
+        print("   ", intent.describe())
+
+    synthesizer = GrammarSynthesizer(vocabulary)
+    model = synthesizer.synthesize(intents)
+    print(f"\nSynthesized grammar ({len(model.asg.cfg.productions)} productions), "
+          f"{len(model.compiled_constraints)} compiled constraints, "
+          f"{len(model.hypothesis_space)}-rule hypothesis space")
+
+    quiet = Context.empty("quiet")
+    ceasefire = Context.from_text("ceasefire.", name="ceasefire")
+    for context in (quiet, ceasefire):
+        print(f"\nPolicies valid under {context.name!r}:")
+        for tokens in generate_policies(
+            model.asg.with_context(context.program) if len(context) else model.asg
+        ):
+            print("   ", " ".join(tokens))
+
+    # Why is the scout border crossing rejected in the quiet context?
+    explanation = explain_rejection(model.asg, ("allow", "scout_uav", "cross_border"))
+    print("\n" + explanation.text())
+
+    # Refine from experience: medevac night operations turned out badly.
+    gpm = GenerativePolicyModel(model.asg)
+    refined, result = learn_gpm(
+        gpm,
+        model.hypothesis_space,
+        [
+            LabeledExample(("allow", "medevac", "night_operation"), valid=False),
+            LabeledExample(("allow", "medevac", "cross_border")),
+            LabeledExample(("allow", "scout_uav", "night_operation")),
+        ],
+    )
+    print("\nAfter operational feedback, additionally learned:")
+    for candidate in result.candidates:
+        print("   ", repr(candidate.rule))
+
+
+if __name__ == "__main__":
+    main()

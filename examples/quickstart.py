@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Quickstart: learn a generative policy model from examples.
+
+This walks the paper's Figure 1 workflow end to end:
+
+1. define an Answer Set Grammar — the *syntax* of the policy language
+   plus attribute annotations;
+2. provide context-dependent examples of valid/invalid policies;
+3. learn the semantic constraints with the ILASP-style learner;
+4. generate the policies valid in a given context (``L(G(C))``).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.asg import parse_asg
+from repro.core import Context, GenerativePolicyModel, LabeledExample, learn_gpm
+from repro.learning import constraint_space
+from repro.asp.atoms import Atom, Literal
+from repro.asp.terms import Constant
+
+
+def main() -> None:
+    # 1. The policy-language syntax, handed down by the coalition's PBMS.
+    #    Productions annotate which attributes each token contributes.
+    asg = parse_asg(
+        """
+policy  -> "allow" subject action
+subject -> "medic"   { is(medic). }
+subject -> "drone"   { is(drone). }
+action  -> "enter_zone" { is(enter_zone). }
+action  -> "transmit"   { is(transmit). }
+"""
+    )
+    model = GenerativePolicyModel(asg)
+    print("Initial policy language (no semantics learned yet):")
+    for tokens in model.generate():
+        print("   ", " ".join(tokens))
+
+    # 2. The hypothesis space: constraints over subject/action attributes
+    #    and context conditions the learner may use.
+    pool = [Literal(Atom("is", [Constant(n)], (2,)), True) for n in ("medic", "drone")]
+    pool += [Literal(Atom("is", [Constant(n)], (3,)), True) for n in ("enter_zone", "transmit")]
+    pool += [Literal(Atom("jamming"), True), Literal(Atom("jamming"), False)]
+    space = constraint_space(pool, prod_ids=(0,), max_body=3)
+    print(f"\nHypothesis space: {len(space)} candidate semantic rules")
+
+    # 3. Context-dependent examples: drones must not transmit while the
+    #    adversary is jamming; medics are unrestricted.
+    jamming = Context.from_attributes({"jamming": True}, name="jamming")
+    quiet = Context.from_attributes({}, name="quiet")
+    examples = [
+        LabeledExample(("allow", "medic", "enter_zone"), quiet),
+        LabeledExample(("allow", "medic", "transmit"), jamming),
+        LabeledExample(("allow", "drone", "transmit"), quiet),
+        LabeledExample(("allow", "drone", "transmit"), jamming, valid=False),
+        LabeledExample(("allow", "drone", "enter_zone"), jamming),
+    ]
+    learned, result = learn_gpm(model, space, examples)
+    print("\nLearned semantic constraints:")
+    for candidate in result.candidates:
+        print(f"    {candidate.rule!r}   (attached to production {candidate.prod_id})")
+
+    # 4. Generate the policies valid in each context.
+    for context in (quiet, jamming):
+        print(f"\nPolicies valid under context {context.name!r}:")
+        for tokens in learned.generate(context):
+            print("   ", " ".join(tokens))
+
+    # 5. Explain why a policy is valid: the witness parse tree + answer set.
+    witness = learned.explain_validity(("allow", "medic", "transmit"), jamming)
+    assert witness is not None
+    tree, answer_set = witness
+    print("\nWitness for 'allow medic transmit' under jamming:")
+    print(tree.pretty())
+    print("  answer set:", sorted(map(str, answer_set)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Mining XACML policies from access logs (paper Section IV.C, Figure 3).
+
+Demonstrates correct learning on clean logs, the three failure modes
+(overfitting, unsafe generalization, noisy data), and the paper's three
+mitigations (statistics/background knowledge, target restrictions,
+dataset filtering).
+
+Run:  python examples/xacml_policy_mining.py
+"""
+
+from repro.apps.xacml_case_study import XacmlLearningPipeline, semantic_accuracy
+from repro.datasets import (
+    default_ground_truth,
+    inject_flips,
+    inject_not_applicable,
+    mark_gaps_not_applicable,
+    per_user_ground_truth,
+    sample_log,
+)
+
+
+def show(title, model, ground_truth):
+    print(f"\n== {title}")
+    for text in model.rule_texts():
+        print("   ", text)
+    print(f"    semantic accuracy vs ground truth: "
+          f"{semantic_accuracy(model, ground_truth):.2f}")
+
+
+def main() -> None:
+    gt = default_ground_truth()
+
+    # --- Figure 3a: correct learning from a clean log --------------------
+    clean = sample_log(gt, 60, seed=1)
+    show("Clean log (Fig. 3a — correctly learned policies)",
+         XacmlLearningPipeline().learn(clean), gt)
+
+    # --- Figure 3b / Policy 1: overfitting -------------------------------
+    # ILASP returns *some* cost-minimal hypothesis; prefer_specific picks
+    # the user-identity optimum (the unlucky tie-break), prefer_general
+    # is the paper's statistics/background-knowledge mitigation.
+    narrow = sample_log(gt, 40, seed=2, users=("u1", "u5"))
+    show("Narrow log, unlucky tie-break (Fig 3b Policy 1: overfitting)",
+         XacmlLearningPipeline(prefer_specific=True).learn(narrow), gt)
+    show("Narrow log + statistics mitigation (prefer general rules)",
+         XacmlLearningPipeline(prefer_general=True).learn(narrow), gt)
+
+    # --- Figure 3b / Policy 2: unsafe generalization ----------------------
+    # the log shows only ONE of the organization's DBAs being granted
+    grants = per_user_ground_truth(["u1"])
+    grant_log = sample_log(grants, 50, seed=3, users=("u1",))
+    show("Per-user grant, no restriction (Fig 3b Policy 2 risk)",
+         XacmlLearningPipeline(max_body=3).learn(grant_log), grants)
+    show("Per-user grant + target-based restriction",
+         XacmlLearningPipeline(max_body=3, require_target=True).learn(grant_log),
+         grants)
+
+    # --- Figure 3b / Policy 3: noisy datasets ------------------------------
+    realistic = mark_gaps_not_applicable(sample_log(gt, 60, seed=4), gt)
+    show("Realistic PDP log (gaps = NotApplicable), learner models it "
+         "(Fig 3b Policy 3 failure mode)",
+         XacmlLearningPipeline(allow_irrelevant_head=True).learn(realistic), gt)
+    show("Same log + dataset filtering",
+         XacmlLearningPipeline(filter_noise=True).learn(
+             inject_not_applicable(sample_log(gt, 60, seed=4), rate=0.3, seed=4)
+         ), gt)
+
+    flipped = inject_flips(sample_log(gt, 60, seed=5), rate=0.15, seed=5)
+    tripled = flipped + sample_log(gt, 60, seed=6) + sample_log(gt, 60, seed=7)
+    show("15% flipped decisions + majority filtering",
+         XacmlLearningPipeline(filter_noise=True).learn(tripled), gt)
+
+
+if __name__ == "__main__":
+    main()

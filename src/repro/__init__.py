@@ -1,0 +1,38 @@
+"""AGENP: An ASGrammar-based GENerative Policy framework.
+
+A complete, from-scratch reproduction of *"Generative Policies for
+Coalition Systems - A Symbolic Learning Framework"* (Bertino et al.,
+ICDCS 2019), including its substrates:
+
+* :mod:`repro.asp` - an Answer Set Programming engine (parser, grounder,
+  solver with exact stability checking), standing in for clingo;
+* :mod:`repro.grammar` - context-free grammars, Earley parsing, language
+  enumeration;
+* :mod:`repro.asg` - Answer Set Grammars (Section II);
+* :mod:`repro.learning` - ILASP-style inductive learning, including the
+  context-dependent ASG learning task of Definition 3;
+* :mod:`repro.core` - generative policy models and the Figure 1 workflow;
+* :mod:`repro.policy` - XACML-lite policies, evaluation, quality metrics,
+  conflicts, counterfactual explanations (Sections IV.C, V.A, V.B);
+* :mod:`repro.agenp` - the full Figure 2 architecture, plus the
+  multi-party coalition fabric;
+* :mod:`repro.nl` - controlled-English policy intents to grammars
+  (Section III.B);
+* :mod:`repro.baselines` - shallow-ML comparators (Section IV.A);
+* :mod:`repro.apps` - the application domains of Section IV;
+* :mod:`repro.datasets` - synthetic dataset generators with pathology
+  injection for the Figure 3 case study.
+
+Quickstart::
+
+    from repro.asg import parse_asg, accepts
+    from repro.learning import ASGLearningTask, ContextExample, constraint_space, learn
+
+See ``examples/quickstart.py`` for the full loop.
+"""
+
+__version__ = "0.1.0"
+
+from repro.errors import ReproError
+
+__all__ = ["ReproError", "__version__"]

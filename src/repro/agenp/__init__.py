@@ -1,0 +1,57 @@
+"""The AGENP framework (paper Section III, Figure 2).
+
+Components: PBMS (specification source), PReP (refinement/generation),
+PAdaP (adaptation/learning), PCP (quality + violation checking), PDP
+(decisions), PEP (enforcement), PIP (external context), the three
+repositories, monitoring, and CASWiki community sharing.  The
+:class:`~repro.agenp.ams.AutonomousManagedSystem` wires one of each into
+an autonomous coalition party.
+"""
+
+from repro.agenp.ams import AutonomousManagedSystem
+from repro.agenp.caswiki import CASWiki, Contribution
+from repro.agenp.coalition import Coalition, CoalitionNetwork, CoalitionParty, Message
+from repro.agenp.interpreters import FieldInterpreter, PolicyInterpreter
+from repro.agenp.monitoring import DecisionRecord, MonitoringLog
+from repro.agenp.padap import PolicyAdaptationPoint
+from repro.agenp.pbms import PolicyBasedManagementSystem, PolicySpecification
+from repro.agenp.pcp import CheckOutcome, PolicyCheckingPoint
+from repro.agenp.pdp import PolicyDecisionPoint
+from repro.agenp.pep import EnforcementResult, ManagedResource, PolicyEnforcementPoint
+from repro.agenp.pip_point import PolicyInformationPoint
+from repro.agenp.prep import PolicyRefinementPoint
+from repro.agenp.repositories import (
+    ContextRepository,
+    PolicyRepository,
+    RepresentationsRepository,
+    StoredPolicy,
+)
+
+__all__ = [
+    "AutonomousManagedSystem",
+    "PolicySpecification",
+    "PolicyBasedManagementSystem",
+    "PolicyRefinementPoint",
+    "PolicyAdaptationPoint",
+    "PolicyCheckingPoint",
+    "CheckOutcome",
+    "PolicyDecisionPoint",
+    "PolicyEnforcementPoint",
+    "EnforcementResult",
+    "ManagedResource",
+    "PolicyInformationPoint",
+    "PolicyRepository",
+    "RepresentationsRepository",
+    "ContextRepository",
+    "StoredPolicy",
+    "MonitoringLog",
+    "DecisionRecord",
+    "CASWiki",
+    "Contribution",
+    "Coalition",
+    "CoalitionNetwork",
+    "CoalitionParty",
+    "Message",
+    "FieldInterpreter",
+    "PolicyInterpreter",
+]

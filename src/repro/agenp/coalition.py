@@ -1,0 +1,196 @@
+"""Multi-party collaboration (paper Section III.B research direction).
+
+"AGENP's design enables it to be instantiated for multi-party systems
+... for which efficient mechanisms are required to communicate and
+share policies."  This module provides that mechanism as an in-process
+message-passing layer:
+
+* :class:`CoalitionNetwork` — a lossy, queue-based message fabric
+  (coalition environments have *fragmented communications*, paper
+  Section I, so message loss is a first-class parameter);
+* :class:`CoalitionParty` — an AMS plus a mailbox and the policy-sharing
+  protocol: ``share`` messages carry policy strings with their context,
+  receivers validate through their local PCP and answer with ``rating``
+  messages that drive per-sender trust;
+* :class:`Coalition` — round-based orchestration.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.agenp.ams import AutonomousManagedSystem
+from repro.agenp.repositories import StoredPolicy
+from repro.errors import AgenpError
+
+__all__ = ["Message", "CoalitionNetwork", "CoalitionParty", "Coalition"]
+
+_message_ids = itertools.count(1)
+
+
+class Message(NamedTuple):
+    """One coalition message."""
+
+    message_id: int
+    sender: str
+    recipient: str
+    kind: str  # "share" | "rating"
+    payload: dict
+
+
+class CoalitionNetwork:
+    """A lossy store-and-forward fabric between named parties."""
+
+    def __init__(self, loss_rate: float = 0.0, seed: int = 0):
+        if not 0.0 <= loss_rate < 1.0:
+            raise AgenpError("loss_rate must be in [0, 1)")
+        self.loss_rate = loss_rate
+        self._rng = random.Random(seed)
+        self._mailboxes: Dict[str, List[Message]] = {}
+        self.sent = 0
+        self.dropped = 0
+
+    def register(self, name: str) -> None:
+        self._mailboxes.setdefault(name, [])
+
+    def parties(self) -> List[str]:
+        return sorted(self._mailboxes)
+
+    def send(self, sender: str, recipient: str, kind: str, payload: dict) -> bool:
+        """Send one message; returns False if the fabric dropped it."""
+        if recipient not in self._mailboxes:
+            raise AgenpError(f"unknown recipient {recipient!r}")
+        self.sent += 1
+        if self._rng.random() < self.loss_rate:
+            self.dropped += 1
+            return False
+        self._mailboxes[recipient].append(
+            Message(next(_message_ids), sender, recipient, kind, payload)
+        )
+        return True
+
+    def broadcast(self, sender: str, kind: str, payload: dict) -> int:
+        """Send to every other party; returns how many were delivered."""
+        delivered = 0
+        for name in self.parties():
+            if name != sender and self.send(sender, name, kind, payload):
+                delivered += 1
+        return delivered
+
+    def drain(self, name: str) -> List[Message]:
+        """Take and clear a party's mailbox."""
+        messages = self._mailboxes.get(name, [])
+        self._mailboxes[name] = []
+        return messages
+
+
+class CoalitionParty:
+    """An AMS participating in the sharing protocol."""
+
+    def __init__(self, ams: AutonomousManagedSystem, network: CoalitionNetwork):
+        self.ams = ams
+        self.network = network
+        network.register(ams.name)
+        self.trust: Dict[str, float] = {}
+        self.adopted: List[StoredPolicy] = []
+        self.rejected_count = 0
+
+    @property
+    def name(self) -> str:
+        return self.ams.name
+
+    def trust_in(self, sender: str, initial: float = 0.5) -> float:
+        return self.trust.get(sender, initial)
+
+    # -- protocol: sending -------------------------------------------------
+
+    def share_policies(self) -> int:
+        """Broadcast every locally generated policy with its context."""
+        context_name = self.ams.current_context().name
+        delivered = 0
+        for policy in self.ams.policy_repository.by_source("local"):
+            delivered += self.network.broadcast(
+                self.name,
+                "share",
+                {"tokens": policy.tokens, "context": context_name},
+            )
+        return delivered
+
+    # -- protocol: receiving ------------------------------------------------
+
+    def process_mailbox(self, min_trust: float = 0.25) -> Tuple[int, int]:
+        """Handle queued messages; returns (adopted, rejected) counts."""
+        adopted = rejected = 0
+        for message in self.network.drain(self.name):
+            if message.kind == "share":
+                if self.trust_in(message.sender) < min_trust:
+                    rejected += 1
+                    continue
+                ok = self._consider(message)
+                if ok:
+                    adopted += 1
+                else:
+                    rejected += 1
+                self.network.send(
+                    self.name,
+                    message.sender,
+                    "rating",
+                    {"useful": ok, "about": message.message_id},
+                )
+            elif message.kind == "rating":
+                self._absorb_rating(message)
+        return adopted, rejected
+
+    def _consider(self, message: Message) -> bool:
+        candidate = StoredPolicy(
+            tuple(message.payload["tokens"]),
+            self.ams.current_context().name,
+            self.ams.model().version,
+            source=f"shared:{message.sender}",
+        )
+        outcome = self.ams.pcp.check_policy(
+            candidate, self.ams.model(), self.ams.current_context()
+        )
+        if outcome.accepted:
+            self.ams.policy_repository.add(candidate)
+            self.adopted.append(candidate)
+            self._update_trust(message.sender, True)
+            return True
+        self.rejected_count += 1
+        self._update_trust(message.sender, False)
+        return False
+
+    def _absorb_rating(self, message: Message) -> None:
+        self._update_trust(message.sender, bool(message.payload.get("useful")))
+
+    def _update_trust(self, other: str, useful: bool, alpha: float = 0.25) -> None:
+        current = self.trust_in(other)
+        target = 1.0 if useful else 0.0
+        self.trust[other] = (1 - alpha) * current + alpha * target
+
+
+class Coalition:
+    """Round-based orchestration of a set of parties."""
+
+    def __init__(self, parties: Sequence[CoalitionParty]):
+        names = [p.name for p in parties]
+        if len(set(names)) != len(names):
+            raise AgenpError("party names must be unique")
+        self.parties = list(parties)
+
+    def round(self, min_trust: float = 0.25) -> Dict[str, Tuple[int, int]]:
+        """One share/process round; returns per-party (adopted, rejected)."""
+        for party in self.parties:
+            party.share_policies()
+        results = {}
+        for party in self.parties:
+            results[party.name] = party.process_mailbox(min_trust=min_trust)
+        # second pass so rating replies are absorbed in the same round
+        for party in self.parties:
+            party.process_mailbox(min_trust=min_trust)
+        return results
+
+    def run(self, rounds: int, min_trust: float = 0.25) -> List[Dict[str, Tuple[int, int]]]:
+        return [self.round(min_trust=min_trust) for __ in range(rounds)]

@@ -1,0 +1,95 @@
+"""Monitoring of PDP/PEP operations (Figure 2's "Monitoring" arrows).
+
+The AGENP loop requires "a history of the decisions that have been made,
+the actions that have been taken, and the effects that they have had on
+the state of the system".  :class:`MonitoringLog` is that history; the
+PAdaP turns flagged records into new training examples.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.contexts import Context
+from repro.policy.model import Decision, Request
+
+__all__ = ["DecisionRecord", "MonitoringLog"]
+
+_counter = itertools.count(1)
+
+
+class DecisionRecord:
+    """One decision/enforcement event and (later) its observed outcome."""
+
+    __slots__ = (
+        "record_id",
+        "request",
+        "decision",
+        "policy_text",
+        "context",
+        "enforced",
+        "outcome_ok",
+    )
+
+    def __init__(
+        self,
+        request: Request,
+        decision: Decision,
+        policy_text: str,
+        context: Context,
+        enforced: bool = False,
+    ):
+        self.record_id = next(_counter)
+        self.request = request
+        self.decision = decision
+        self.policy_text = policy_text
+        self.context = context
+        self.enforced = enforced
+        self.outcome_ok: Optional[bool] = None
+
+    def __repr__(self) -> str:
+        outcome = (
+            "?" if self.outcome_ok is None else ("ok" if self.outcome_ok else "BAD")
+        )
+        return (
+            f"DecisionRecord(#{self.record_id} {self.decision.value} "
+            f"via {self.policy_text!r} [{outcome}])"
+        )
+
+
+class MonitoringLog:
+    """Append-only history of decision records with outcome feedback."""
+
+    def __init__(self) -> None:
+        self._records: List[DecisionRecord] = []
+
+    def append(self, record: DecisionRecord) -> DecisionRecord:
+        self._records.append(record)
+        return record
+
+    def records(self) -> List[DecisionRecord]:
+        return list(self._records)
+
+    def mark_outcome(self, record_id: int, ok: bool) -> None:
+        for record in self._records:
+            if record.record_id == record_id:
+                record.outcome_ok = ok
+                return
+        raise KeyError(f"no record with id {record_id}")
+
+    def violations(self) -> List[DecisionRecord]:
+        """Records whose outcome was flagged bad — adaptation triggers."""
+        return [r for r in self._records if r.outcome_ok is False]
+
+    def confirmations(self) -> List[DecisionRecord]:
+        return [r for r in self._records if r.outcome_ok is True]
+
+    def unreviewed(self) -> List[DecisionRecord]:
+        return [r for r in self._records if r.outcome_ok is None]
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)

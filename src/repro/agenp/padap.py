@@ -1,0 +1,106 @@
+"""The Policy Adaptation Point (PAdaP): ASG solver + ASG learner.
+
+"The PAdaP analyzes context information, the previous learned policy
+model, and previously selected policies, to generate, validate, and
+update the ASG."  Concretely: monitoring feedback becomes labelled
+examples; the learner re-solves the Definition 3 task over the
+accumulated examples; the new model version is stored in the
+Representations Repository.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.contexts import Context
+from repro.core.gpm import GenerativePolicyModel
+from repro.core.workflow import LabeledExample, learn_gpm
+from repro.agenp.monitoring import DecisionRecord, MonitoringLog
+from repro.agenp.pcp import PolicyCheckingPoint
+from repro.agenp.repositories import RepresentationsRepository
+from repro.errors import UnsatisfiableTaskError
+from repro.learning.ilasp import LearnedHypothesis
+from repro.learning.mode_bias import CandidateRule
+
+__all__ = ["PolicyAdaptationPoint"]
+
+
+class PolicyAdaptationPoint:
+    """Adapts the GPM from monitoring feedback."""
+
+    def __init__(
+        self,
+        hypothesis_space: Sequence[CandidateRule],
+        representations: RepresentationsRepository,
+        pcp: Optional[PolicyCheckingPoint] = None,
+        max_violations: int = 0,
+    ):
+        self.hypothesis_space = list(hypothesis_space)
+        self.representations = representations
+        self.pcp = pcp
+        self.max_violations = max_violations
+        self.examples: List[LabeledExample] = []
+
+    # -- example management -----------------------------------------------
+
+    def add_example(self, example: LabeledExample) -> None:
+        self.examples.append(example)
+        if self.pcp is not None and not example.valid:
+            self.pcp.record_violation(example)
+
+    def ingest_feedback(self, log: MonitoringLog) -> int:
+        """Convert reviewed monitoring records into labelled examples.
+
+        A confirmed-bad outcome whose decision was driven by policy ``p``
+        in context ``C`` becomes the negative example ``<p, C>``; a
+        confirmed-good one becomes positive.  Returns how many new
+        examples were ingested.
+        """
+        known = {
+            (e.tokens, e.context, e.valid) for e in self.examples
+        }
+        added = 0
+        for record in log.records():
+            if record.outcome_ok is None or not record.policy_text:
+                continue
+            tokens = tuple(record.policy_text.split())
+            example = LabeledExample(
+                tokens, record.context, valid=record.outcome_ok
+            )
+            key = (example.tokens, example.context, example.valid)
+            if key not in known:
+                known.add(key)
+                self.add_example(example)
+                added += 1
+        return added
+
+    # -- adaptation -----------------------------------------------------------
+
+    def needs_adaptation(self, log: MonitoringLog) -> bool:
+        """Adaptation triggers when the system "is not meeting the goals":
+        any decision outcome was flagged bad."""
+        return bool(log.violations())
+
+    def adapt(self) -> Tuple[GenerativePolicyModel, Optional[LearnedHypothesis]]:
+        """Relearn the GPM over all accumulated examples and store it.
+
+        On an unsatisfiable task the learner retries with growing
+        violation budgets (noisy feedback is a fact of coalition life —
+        paper Section IV.C); the last resort keeps the current model.
+        """
+        model = self.representations.latest()
+        budget = self.max_violations
+        while True:
+            try:
+                new_model, result = learn_gpm(
+                    model,
+                    self.hypothesis_space,
+                    self.examples,
+                    max_violations=budget,
+                )
+                self.representations.store(new_model)
+                return new_model, result
+            except UnsatisfiableTaskError:
+                budget += 1
+                if budget > self.max_violations + len(self.examples):
+                    return model, None

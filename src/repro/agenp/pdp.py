@@ -1,0 +1,84 @@
+"""The Policy Decision Point (PDP).
+
+"When the managed parties require a decision ... the PDP obtains all the
+policies pertinent to that decision and uses them to determine the
+actions that must be performed by the PEP."  Decisions are monitored
+(each produces a :class:`~repro.agenp.monitoring.DecisionRecord`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.contexts import Context
+from repro.agenp.interpreters import PolicyInterpreter
+from repro.agenp.monitoring import DecisionRecord, MonitoringLog
+from repro.agenp.repositories import PolicyRepository, StoredPolicy
+from repro.policy.conflicts import ResolutionStrategy, deny_overrides
+from repro.policy.evaluation import applicable_rules
+from repro.policy.model import Decision, Request
+from repro.policy.xacml import Policy
+
+__all__ = ["PolicyDecisionPoint"]
+
+
+class PolicyDecisionPoint:
+    """Evaluates requests against the current policy repository."""
+
+    def __init__(
+        self,
+        repository: PolicyRepository,
+        interpreter: PolicyInterpreter,
+        log: Optional[MonitoringLog] = None,
+        strategy: ResolutionStrategy = deny_overrides,
+        default_decision: Decision = Decision.DENY,
+    ):
+        self.repository = repository
+        self.interpreter = interpreter
+        self.log = log if log is not None else MonitoringLog()
+        self.strategy = strategy
+        self.default_decision = default_decision
+        self._compiled: List[Tuple[StoredPolicy, Policy]] = []
+        self._compiled_for: Optional[Tuple[StoredPolicy, ...]] = None
+
+    def _compile(self) -> List[Tuple[StoredPolicy, Policy]]:
+        current = tuple(self.repository.all())
+        if self._compiled_for != current:
+            self._compiled = [(p, self.interpreter(p.tokens)) for p in current]
+            self._compiled_for = current
+        return self._compiled
+
+    def decide(self, request: Request, context: Optional[Context] = None) -> DecisionRecord:
+        """Evaluate the request; log and return the decision record.
+
+        If no policy applies, the configurable ``default_decision`` is
+        used (deny-by-default for safety) and the record notes the gap —
+        the Section V.A "completeness" situation that may trigger
+        adaptation.
+        """
+        hits = []
+        for stored, policy in self._compile():
+            for rule, decision in applicable_rules(policy, request):
+                hits.append((stored, policy, rule, decision))
+        if hits:
+            decision = self.strategy([(p, r, d) for __, p, r, d in hits])
+            winning = [
+                stored.text
+                for stored, __, __r, d in hits
+                if d == decision
+            ]
+            policy_text = winning[0] if winning else hits[0][0].text
+        else:
+            decision = self.default_decision
+            policy_text = ""
+        record = DecisionRecord(
+            request,
+            decision,
+            policy_text,
+            context if context is not None else Context.empty(),
+        )
+        return self.log.append(record)
+
+    def coverage_gap(self, record: DecisionRecord) -> bool:
+        """True if the record came from the default (no policy applied)."""
+        return record.policy_text == ""

@@ -1,0 +1,48 @@
+"""The Policy Information Point (PIP).
+
+"The PIP component aims to acquire information about any external
+conditions that affect the operation of the AMS."  Providers are
+callables returning :class:`~repro.core.contexts.Context` fragments;
+:meth:`acquire` merges them into the local context.  Provider failures
+are isolated (an unreachable external source must not take the AMS
+down — coalition environments have fragmented communications).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.contexts import Context
+
+__all__ = ["PolicyInformationPoint"]
+
+ContextProvider = Callable[[], Context]
+
+
+class PolicyInformationPoint:
+    """Registry of external-context providers."""
+
+    def __init__(self) -> None:
+        self._providers: Dict[str, ContextProvider] = {}
+        self.failures: List[Tuple[str, Exception]] = []
+
+    def register(self, name: str, provider: ContextProvider) -> None:
+        self._providers[name] = provider
+
+    def unregister(self, name: str) -> None:
+        self._providers.pop(name, None)
+
+    def acquire(self, base: Optional[Context] = None) -> Context:
+        """Merge all provider contexts into ``base`` (failures skipped)."""
+        merged = base if base is not None else Context.empty()
+        for name in sorted(self._providers):
+            try:
+                fragment = self._providers[name]()
+            except Exception as error:  # provider isolation by design
+                self.failures.append((name, error))
+                continue
+            merged = merged.merged(fragment)
+        return merged
+
+    def provider_names(self) -> List[str]:
+        return sorted(self._providers)

@@ -1,0 +1,8 @@
+"""Application domains from the paper's Section IV.
+
+* :mod:`repro.apps.cav` — connected and autonomous vehicles (IV.A);
+* :mod:`repro.apps.resupply` — logistical resupply missions (IV.B);
+* :mod:`repro.apps.xacml_case_study` — access-control learning (IV.C);
+* :mod:`repro.apps.datasharing` — coalition data sharing (IV.D);
+* :mod:`repro.apps.federated` — federated-learning governance (IV.E).
+"""

@@ -1,0 +1,51 @@
+"""Connected and Autonomous Vehicles (paper Section IV.A).
+
+An ASG-based GPM that "states whether a particular request to execute a
+driving task should be accepted or rejected, based on the current
+environmental conditions and the LOA of the vehicle, region and driving
+task" (after Cunnington et al. [25]).
+"""
+
+from repro.apps.cav.alfus import (
+    ALFUS_LEVELS,
+    TransientRestriction,
+    Vehicle,
+    alfus_to_sae,
+    effective_loa,
+    find_delegate,
+    sae_to_alfus,
+)
+from repro.apps.cav.domain import (
+    CavScenario,
+    TASKS,
+    TASK_LOA,
+    WEATHER,
+    ground_truth_accept,
+    sample_scenarios,
+)
+from repro.apps.cav.gpm import (
+    CavSymbolicLearner,
+    cav_asg,
+    cav_hypothesis_space,
+    scenario_to_context,
+)
+
+__all__ = [
+    "ALFUS_LEVELS",
+    "TransientRestriction",
+    "Vehicle",
+    "sae_to_alfus",
+    "alfus_to_sae",
+    "effective_loa",
+    "find_delegate",
+    "CavScenario",
+    "TASKS",
+    "TASK_LOA",
+    "WEATHER",
+    "ground_truth_accept",
+    "sample_scenarios",
+    "cav_asg",
+    "cav_hypothesis_space",
+    "scenario_to_context",
+    "CavSymbolicLearner",
+]

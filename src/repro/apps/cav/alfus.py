@@ -1,0 +1,142 @@
+"""Autonomy-level taxonomies and transient restrictions (Section IV.A).
+
+Implements the two specifications the paper cites:
+
+* **ALFUS** (Autonomy Levels For Unmanned Systems): levels 0 (human
+  remote control) through 10 (full autonomy), with the paper's
+  highlighted Level 6 (directive-following with goal setting and
+  decision approval);
+* **SAE J3016** driving-automation levels 0–5, with conversion to the
+  ALFUS scale.
+
+Plus the two dynamic mechanisms the paper describes:
+
+* *transient restrictions* — "in local situations authorities may
+  enforce transient autonomy levels to aid the management of a given
+  situation, such as maintenance works or emergency vehicle scenarios";
+* *capability delegation* — "CAVs of lower LOA may be able to utilize
+  capabilities or services from nearby CAVs of higher LOA".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence
+
+from repro.errors import ReproError
+
+__all__ = [
+    "ALFUS_LEVELS",
+    "sae_to_alfus",
+    "alfus_to_sae",
+    "TransientRestriction",
+    "effective_loa",
+    "Vehicle",
+    "find_delegate",
+]
+
+ALFUS_LEVELS: Dict[int, str] = {
+    0: "human remote control",
+    1: "remote control with vehicle state knowledge",
+    2: "teleoperation with external data",
+    3: "task delegation with continuous oversight",
+    4: "human-delegated plans, vehicle executes",
+    5: "mixed initiative, shared decision making",
+    6: "directive-following: goal setting and decision approval",
+    7: "self-directed within broad directives",
+    8: "self-directed, human informed by exception",
+    9: "near-full autonomy, strategic human input only",
+    10: "full autonomy: only resulting output is communicated",
+}
+
+_SAE_TO_ALFUS = {0: 0, 1: 2, 2: 4, 3: 6, 4: 8, 5: 10}
+_ALFUS_TO_SAE = {alfus: sae for sae, alfus in _SAE_TO_ALFUS.items()}
+
+
+def sae_to_alfus(sae_level: int) -> int:
+    """Map an SAE J3016 driving-automation level (0-5) to ALFUS (0-10)."""
+    try:
+        return _SAE_TO_ALFUS[sae_level]
+    except KeyError:
+        raise ReproError(f"SAE level must be 0..5, got {sae_level}") from None
+
+
+def alfus_to_sae(alfus_level: int) -> int:
+    """Map an ALFUS level to the nearest not-exceeding SAE level."""
+    if not 0 <= alfus_level <= 10:
+        raise ReproError(f"ALFUS level must be 0..10, got {alfus_level}")
+    best = 0
+    for sae, alfus in _SAE_TO_ALFUS.items():
+        if alfus <= alfus_level:
+            best = max(best, sae)
+    return best
+
+
+class TransientRestriction(NamedTuple):
+    """A temporary LOA cap imposed by a local authority.
+
+    ``active`` is a predicate over a context dict; inactive restrictions
+    do not constrain anyone.  ``region`` of None applies everywhere.
+    """
+
+    cap: int
+    reason: str
+    region: Optional[str] = None
+    active: Callable[[Dict], bool] = lambda context: True
+
+
+def effective_loa(
+    vehicle_loa: int,
+    region: str,
+    restrictions: Sequence[TransientRestriction],
+    context: Optional[Dict] = None,
+) -> int:
+    """The LOA a vehicle may actually exercise here and now.
+
+    The vehicle's intrinsic level, capped by every active restriction
+    that applies to the region — "assuming a static LOA proposes a
+    challenge for a CAV".
+    """
+    context = context or {}
+    level = vehicle_loa
+    for restriction in restrictions:
+        if restriction.region is not None and restriction.region != region:
+            continue
+        if not restriction.active(context):
+            continue
+        level = min(level, restriction.cap)
+    return level
+
+
+class Vehicle(NamedTuple):
+    """A CAV with an intrinsic autonomy level and a position (region)."""
+
+    name: str
+    loa: int
+    region: str
+    shareable: bool = True  # willing to offer services to the coalition
+
+
+def find_delegate(
+    required_loa: int,
+    region: str,
+    vehicles: Sequence[Vehicle],
+    restrictions: Sequence[TransientRestriction] = (),
+    context: Optional[Dict] = None,
+) -> Optional[Vehicle]:
+    """Find a nearby higher-LOA vehicle to perform a task on behalf of
+    a lower-LOA requester.
+
+    Candidates must be in the same region, shareable, and retain
+    ``required_loa`` *after* transient restrictions.  The least-capable
+    sufficient vehicle is chosen (preserving high-LOA capacity).
+    """
+    candidates = [
+        vehicle
+        for vehicle in vehicles
+        if vehicle.region == region
+        and vehicle.shareable
+        and effective_loa(vehicle.loa, region, restrictions, context) >= required_loa
+    ]
+    if not candidates:
+        return None
+    return min(candidates, key=lambda vehicle: (vehicle.loa, vehicle.name))

@@ -1,0 +1,96 @@
+"""The CAV driving-task domain model.
+
+Follows Section IV.A: vehicles, regions, and driving tasks each carry a
+Level of Autonomy (we use a compact 0–5 scale in the spirit of SAE
+J3016); transient regional restrictions and environmental conditions
+modulate what is allowed.
+
+Ground truth: a driving-task request is **accepted** iff
+
+* the vehicle's LOA meets the task's required LOA,
+* the region's (possibly transiently lowered) LOA cap meets it too, and
+* the task is not *risky* while conditions are *severe*
+  (snow/fog — the environmental-condition clause).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, NamedTuple, Sequence, Tuple
+
+__all__ = [
+    "TASKS",
+    "TASK_LOA",
+    "RISKY_TASKS",
+    "WEATHER",
+    "SEVERE_WEATHER",
+    "CavScenario",
+    "ground_truth_accept",
+    "sample_scenarios",
+]
+
+TASKS = ("lane_keep", "lane_change", "overtake", "park")
+
+TASK_LOA: Dict[str, int] = {
+    "lane_keep": 1,
+    "lane_change": 2,
+    "overtake": 3,
+    "park": 2,
+}
+
+RISKY_TASKS = ("lane_change", "overtake")
+
+WEATHER = ("clear", "rain", "snow", "fog")
+SEVERE_WEATHER = ("snow", "fog")
+
+MAX_LOA = 5
+
+
+class CavScenario(NamedTuple):
+    """One driving-task request plus its context."""
+
+    task: str
+    vehicle_loa: int
+    region_loa: int
+    weather: str
+    time_of_day: str  # "day" | "night"
+
+    def features(self) -> Dict[str, object]:
+        """The flat attribute dict the shallow-ML baselines train on."""
+        return {
+            "task": self.task,
+            "vehicle_loa": self.vehicle_loa,
+            "region_loa": self.region_loa,
+            "weather": self.weather,
+            "time_of_day": self.time_of_day,
+        }
+
+
+def ground_truth_accept(scenario: CavScenario) -> bool:
+    """The (hidden) policy the learners must recover."""
+    required = TASK_LOA[scenario.task]
+    if scenario.vehicle_loa < required:
+        return False
+    if scenario.region_loa < required:
+        return False
+    if scenario.task in RISKY_TASKS and scenario.weather in SEVERE_WEATHER:
+        return False
+    return True
+
+
+def sample_scenarios(
+    n: int, seed: int = 0
+) -> List[Tuple[CavScenario, bool]]:
+    """Sample labelled scenarios uniformly over the domain."""
+    rng = random.Random(seed)
+    out: List[Tuple[CavScenario, bool]] = []
+    for __ in range(n):
+        scenario = CavScenario(
+            task=rng.choice(TASKS),
+            vehicle_loa=rng.randint(0, MAX_LOA),
+            region_loa=rng.randint(0, MAX_LOA),
+            weather=rng.choice(WEATHER),
+            time_of_day=rng.choice(("day", "night")),
+        )
+        out.append((scenario, ground_truth_accept(scenario)))
+    return out

@@ -1,0 +1,32 @@
+"""Coalition data sharing (paper Section IV.D).
+
+Data offered by partners varies in quality, trust, and value; sharing
+decisions are evaluated with the help of *helper microservices* (after
+Verma et al. [33]).  The symbolic learner learns "which microservice to
+use for which context and data" — the research direction the paper
+calls out explicitly.
+"""
+
+from repro.apps.datasharing.domain import (
+    DataOffer,
+    HELPERS,
+    correct_helper,
+    sample_offers,
+    sharing_allowed,
+)
+from repro.apps.datasharing.learner import (
+    HelperSelectionLearner,
+    datasharing_asg,
+    offer_to_context,
+)
+
+__all__ = [
+    "DataOffer",
+    "HELPERS",
+    "correct_helper",
+    "sharing_allowed",
+    "sample_offers",
+    "datasharing_asg",
+    "offer_to_context",
+    "HelperSelectionLearner",
+]

@@ -1,0 +1,76 @@
+"""The data-sharing domain.
+
+A partner offers a data item; the receiving party must (a) decide
+whether to use it and (b) route it through the right *helper
+microservice* for evaluation.  Ground truth doctrine:
+
+* data from untrusted partners always goes through ``deep_scan``;
+* documents (regardless of partner) need ``provenance_verify``;
+* everything else takes the cheap ``basic_check``;
+* sharing is refused outright when the partner is untrusted *and* the
+  data is low-quality (not worth the scan cost).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, NamedTuple, Sequence, Tuple
+
+__all__ = [
+    "HELPERS",
+    "DATA_TYPES",
+    "DataOffer",
+    "correct_helper",
+    "sharing_allowed",
+    "sample_offers",
+]
+
+HELPERS = ("basic_check", "deep_scan", "provenance_verify")
+DATA_TYPES = ("imagery", "signal", "document")
+TRUST_LEVELS = ("trusted", "untrusted")
+QUALITY_LEVELS = ("high", "low")
+VALUE_LEVELS = ("high", "low")
+
+
+class DataOffer(NamedTuple):
+    """One data item offered by a coalition partner."""
+
+    partner_trust: str
+    data_type: str
+    quality: str
+    value: str
+
+    def features(self) -> Dict[str, object]:
+        return {
+            "partner_trust": self.partner_trust,
+            "data_type": self.data_type,
+            "quality": self.quality,
+            "value": self.value,
+        }
+
+
+def sharing_allowed(offer: DataOffer) -> bool:
+    """Whether to accept the offer at all."""
+    return not (offer.partner_trust == "untrusted" and offer.quality == "low")
+
+
+def correct_helper(offer: DataOffer) -> str:
+    """Which helper microservice evaluates the accepted offer."""
+    if offer.data_type == "document":
+        return "provenance_verify"
+    if offer.partner_trust == "untrusted":
+        return "deep_scan"
+    return "basic_check"
+
+
+def sample_offers(n: int, seed: int = 0) -> List[DataOffer]:
+    rng = random.Random(seed)
+    return [
+        DataOffer(
+            partner_trust=rng.choice(TRUST_LEVELS),
+            data_type=rng.choice(DATA_TYPES),
+            quality=rng.choice(QUALITY_LEVELS),
+            value=rng.choice(VALUE_LEVELS),
+        )
+        for __ in range(n)
+    ]

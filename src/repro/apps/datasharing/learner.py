@@ -1,0 +1,127 @@
+"""Learning helper-microservice selection policies.
+
+The GPM's policy strings are ``route <helper>`` and ``refuse``; the
+learnable semantics are constraints on which helper/refusal is valid
+for the offer described by the context.  Because exactly one helper is
+correct per accepted offer, the learner sees, for each training offer,
+one positive example (the right string) and the rest as negatives.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.asp.atoms import Atom, Literal
+from repro.asp.terms import Constant
+from repro.asg.annotated import ASG
+from repro.asg.asg_parser import parse_asg
+from repro.asg.semantics import accepts
+from repro.core.contexts import Context
+from repro.learning.decomposable import learn_auto
+from repro.learning.mode_bias import CandidateRule, constraint_space
+from repro.learning.tasks import ASGLearningTask, ContextExample
+from repro.apps.datasharing.domain import (
+    DataOffer,
+    HELPERS,
+    correct_helper,
+    sharing_allowed,
+)
+
+__all__ = ["datasharing_asg", "offer_to_context", "HelperSelectionLearner"]
+
+_ASG_TEXT = """
+decision -> "route" helper
+decision -> "refuse"
+helper -> "basic_check"       { helper(basic_check). }
+helper -> "deep_scan"         { helper(deep_scan). }
+helper -> "provenance_verify" { helper(provenance_verify). }
+"""
+
+ROUTE_PRODUCTION = 0
+REFUSE_PRODUCTION = 1
+
+
+def datasharing_asg() -> ASG:
+    return parse_asg(_ASG_TEXT)
+
+
+def offer_to_context(offer: DataOffer) -> Context:
+    return Context.from_attributes(
+        {
+            "untrusted": offer.partner_trust == "untrusted",
+            "document": offer.data_type == "document",
+            "low_quality": offer.quality == "low",
+            "high_value": offer.value == "high",
+        }
+    )
+
+
+def _hypothesis_space(max_body: int = 3) -> List[CandidateRule]:
+    helper_literals = [
+        Literal(Atom("helper", [Constant(helper)], (2,)), True) for helper in HELPERS
+    ]
+    context_literals: List[Literal] = []
+    for name in ("untrusted", "document", "low_quality", "high_value"):
+        context_literals.append(Literal(Atom(name), True))
+        context_literals.append(Literal(Atom(name), False))
+    route_space = constraint_space(
+        helper_literals + context_literals,
+        prod_ids=(ROUTE_PRODUCTION,),
+        max_body=max_body,
+    )
+    refuse_space = constraint_space(
+        context_literals, prod_ids=(REFUSE_PRODUCTION,), max_body=max_body
+    )
+    return route_space + refuse_space
+
+
+class HelperSelectionLearner:
+    """Learns which helper microservice (or refusal) fits each offer."""
+
+    def __init__(self, max_body: int = 3):
+        self.asg = datasharing_asg()
+        self.space = _hypothesis_space(max_body)
+        self.learned: Optional[ASG] = None
+
+    @staticmethod
+    def correct_string(offer: DataOffer) -> Tuple[str, ...]:
+        if not sharing_allowed(offer):
+            return ("refuse",)
+        return ("route", correct_helper(offer))
+
+    def fit(self, offers: Sequence[DataOffer]) -> "HelperSelectionLearner":
+        positive: List[ContextExample] = []
+        negative: List[ContextExample] = []
+        all_strings = [("refuse",)] + [("route", helper) for helper in HELPERS]
+        for offer in offers:
+            context = offer_to_context(offer).program
+            right = self.correct_string(offer)
+            for string in all_strings:
+                example = ContextExample(string, context)
+                if string == right:
+                    positive.append(example)
+                else:
+                    negative.append(example)
+        task = ASGLearningTask(self.asg, self.space, positive, negative)
+        result = learn_auto(task, max_rules=10)
+        self.learned = self.asg.with_rules(result.rules)
+        return self
+
+    def decide(self, offer: DataOffer) -> Tuple[str, ...]:
+        """The unique valid decision string for an offer (or the first if
+        the learned model is still ambiguous)."""
+        if self.learned is None:
+            raise RuntimeError("learner not fitted")
+        context = offer_to_context(offer).program
+        grammar = self.learned.with_context(context)
+        options = [("refuse",)] + [("route", helper) for helper in HELPERS]
+        valid = [s for s in options if accepts(grammar, s)]
+        return valid[0] if valid else ("refuse",)
+
+    def accuracy(self, offers: Sequence[DataOffer]) -> float:
+        if not offers:
+            return 1.0
+        correct = sum(
+            1 for offer in offers if self.decide(offer) == self.correct_string(offer)
+        )
+        return correct / len(offers)

@@ -1,0 +1,37 @@
+"""Federated learning governance (paper Section IV.E).
+
+Coalition members share model insights rather than raw data; the
+receiving party needs policies deciding "how to incorporate those
+insights together, e.g. by adapting those models, by combining those
+models, or by training a new model".  This app simulates a small
+federated linear-regression coalition and learns the governance policy
+with the symbolic framework.
+"""
+
+from repro.apps.federated.domain import (
+    InsightOffer,
+    GOVERNANCE_ACTIONS,
+    correct_action,
+    sample_insight_offers,
+)
+from repro.apps.federated.governance import (
+    GovernanceLearner,
+    federated_asg,
+    insight_to_context,
+)
+from repro.apps.federated.simulation import (
+    FederatedSimulation,
+    PartnerSpec,
+)
+
+__all__ = [
+    "InsightOffer",
+    "GOVERNANCE_ACTIONS",
+    "correct_action",
+    "sample_insight_offers",
+    "federated_asg",
+    "insight_to_context",
+    "GovernanceLearner",
+    "FederatedSimulation",
+    "PartnerSpec",
+]

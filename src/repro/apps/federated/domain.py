@@ -1,0 +1,64 @@
+"""Federated-governance decision domain.
+
+For each received insight (a partner's model update) the receiving
+party sees a small context — partner trust, whether the partner's data
+distribution matches, how far the update diverges from the local model
+— and must pick a governance action.
+
+Ground-truth doctrine (the policy to learn):
+
+* ``reject``  — untrusted partner with a divergent update (likely poisoned);
+* ``adapt``   — untrusted but consistent update (usable at reduced weight);
+* ``retrain`` — trusted partner whose data distribution differs
+  (their insight describes a different regime: trigger joint retraining);
+* ``combine`` — trusted, same-distribution updates are simply averaged in.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, NamedTuple, Sequence
+
+__all__ = [
+    "GOVERNANCE_ACTIONS",
+    "InsightOffer",
+    "correct_action",
+    "sample_insight_offers",
+]
+
+GOVERNANCE_ACTIONS = ("combine", "adapt", "retrain", "reject")
+
+
+class InsightOffer(NamedTuple):
+    """The decision context for one received model update."""
+
+    partner_trusted: bool
+    same_distribution: bool
+    divergent: bool
+
+    def features(self) -> Dict[str, object]:
+        return {
+            "partner_trusted": self.partner_trusted,
+            "same_distribution": self.same_distribution,
+            "divergent": self.divergent,
+        }
+
+
+def correct_action(offer: InsightOffer) -> str:
+    if not offer.partner_trusted:
+        return "reject" if offer.divergent else "adapt"
+    if not offer.same_distribution:
+        return "retrain"
+    return "combine"
+
+
+def sample_insight_offers(n: int, seed: int = 0) -> List[InsightOffer]:
+    rng = random.Random(seed)
+    return [
+        InsightOffer(
+            partner_trusted=rng.random() < 0.5,
+            same_distribution=rng.random() < 0.5,
+            divergent=rng.random() < 0.5,
+        )
+        for __ in range(n)
+    ]

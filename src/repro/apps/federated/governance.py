@@ -1,0 +1,103 @@
+"""Learning the federated-governance policy as an ASG-based GPM."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.asp.atoms import Atom, Literal
+from repro.asp.terms import Constant
+from repro.asg.annotated import ASG
+from repro.asg.asg_parser import parse_asg
+from repro.asg.semantics import accepts
+from repro.core.contexts import Context
+from repro.learning.decomposable import learn_auto
+from repro.learning.mode_bias import CandidateRule, constraint_space
+from repro.learning.tasks import ASGLearningTask, ContextExample
+from repro.apps.federated.domain import (
+    GOVERNANCE_ACTIONS,
+    InsightOffer,
+    correct_action,
+)
+
+__all__ = ["federated_asg", "insight_to_context", "GovernanceLearner"]
+
+_ASG_TEXT = """
+decision -> "govern" action
+action -> "combine" { action(combine). }
+action -> "adapt"   { action(adapt). }
+action -> "retrain" { action(retrain). }
+action -> "reject"  { action(reject). }
+"""
+
+GOVERN_PRODUCTION = 0
+
+
+def federated_asg() -> ASG:
+    return parse_asg(_ASG_TEXT)
+
+
+def insight_to_context(offer: InsightOffer) -> Context:
+    return Context.from_attributes(
+        {
+            "trusted": offer.partner_trusted,
+            "same_distribution": offer.same_distribution,
+            "divergent": offer.divergent,
+        }
+    )
+
+
+def _hypothesis_space(max_body: int = 3) -> List[CandidateRule]:
+    pool: List[Literal] = [
+        Literal(Atom("action", [Constant(a)], (2,)), True) for a in GOVERNANCE_ACTIONS
+    ]
+    for name in ("trusted", "same_distribution", "divergent"):
+        pool.append(Literal(Atom(name), True))
+        pool.append(Literal(Atom(name), False))
+    return constraint_space(pool, prod_ids=(GOVERN_PRODUCTION,), max_body=max_body)
+
+
+class GovernanceLearner:
+    """Learns which governance action is valid per insight context."""
+
+    def __init__(self, max_body: int = 3):
+        self.asg = federated_asg()
+        self.space = _hypothesis_space(max_body)
+        self.learned: Optional[ASG] = None
+
+    def fit(self, offers: Sequence[InsightOffer]) -> "GovernanceLearner":
+        positive: List[ContextExample] = []
+        negative: List[ContextExample] = []
+        for offer in offers:
+            context = insight_to_context(offer).program
+            right = correct_action(offer)
+            for action in GOVERNANCE_ACTIONS:
+                example = ContextExample(("govern", action), context)
+                if action == right:
+                    positive.append(example)
+                else:
+                    negative.append(example)
+        task = ASGLearningTask(self.asg, self.space, positive, negative)
+        result = learn_auto(task, max_rules=12)
+        self.learned = self.asg.with_rules(result.rules)
+        return self
+
+    def decide(self, offer: InsightOffer) -> str:
+        if self.learned is None:
+            raise RuntimeError("learner not fitted")
+        grammar = self.learned.with_context(insight_to_context(offer).program)
+        valid = [
+            action
+            for action in GOVERNANCE_ACTIONS
+            if accepts(grammar, ("govern", action))
+        ]
+        # a well-trained model leaves exactly one action; fall back to
+        # the safe choice on ambiguity or vacuity
+        return valid[0] if len(valid) == 1 else "reject"
+
+    def accuracy(self, offers: Sequence[InsightOffer]) -> float:
+        if not offers:
+            return 1.0
+        correct = sum(
+            1 for offer in offers if self.decide(offer) == correct_action(offer)
+        )
+        return correct / len(offers)

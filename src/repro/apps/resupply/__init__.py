@@ -1,0 +1,34 @@
+"""Logistical resupply (paper Section IV.B).
+
+Convoy missions in an urban coalition environment: a route must be
+chosen per mission under planning-phase (speculative) or
+execution-phase (real-time) conditions.  The coalition "is able to
+learn from previous experience": each completed mission contributes
+labelled examples, and accuracy improves as missions accumulate.
+"""
+
+from repro.apps.resupply.domain import (
+    MissionConditions,
+    MissionOutcome,
+    ROUTES,
+    ground_truth_route_ok,
+    simulate_missions,
+)
+from repro.apps.resupply.learner import (
+    ResupplyLearner,
+    resupply_asg,
+    resupply_hypothesis_space,
+    conditions_to_context,
+)
+
+__all__ = [
+    "ROUTES",
+    "MissionConditions",
+    "MissionOutcome",
+    "ground_truth_route_ok",
+    "simulate_missions",
+    "resupply_asg",
+    "resupply_hypothesis_space",
+    "conditions_to_context",
+    "ResupplyLearner",
+]

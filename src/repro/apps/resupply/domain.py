@@ -1,0 +1,119 @@
+"""The resupply mission domain.
+
+Per the DAIS-ITA scenario (paper Section IV.B): a resupply convoy picks
+one of a set of route options at some time of day under assumed or
+predicted conditions.  Planning-phase conditions are *speculative* —
+the execution phase observes the real values, which differ with some
+probability (updated information, enemy disruption).
+
+Ground truth (the doctrine to learn): a route is viable iff
+
+* it is not under a high threat level,
+* the river route is not used at night or in storms,
+* the narrow route is not used when convoy size is large.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+__all__ = [
+    "ROUTES",
+    "THREATS",
+    "WEATHER",
+    "MissionConditions",
+    "MissionOutcome",
+    "ground_truth_route_ok",
+    "perturb_conditions",
+    "simulate_missions",
+]
+
+ROUTES = ("main", "river", "narrow")
+THREATS = ("low", "medium", "high")
+WEATHER = ("clear", "rain", "storm")
+CONVOY_SIZES = ("small", "large")
+TIMES = ("day", "night")
+
+
+class MissionConditions(NamedTuple):
+    """The conditions a route decision is made under."""
+
+    threat: Dict[str, str]  # per-route threat level
+    weather: str
+    time_of_day: str
+    convoy_size: str
+
+    def features(self, route: str) -> Dict[str, object]:
+        return {
+            "route": route,
+            "threat": self.threat[route],
+            "weather": self.weather,
+            "time_of_day": self.time_of_day,
+            "convoy_size": self.convoy_size,
+        }
+
+
+def ground_truth_route_ok(route: str, conditions: MissionConditions) -> bool:
+    if conditions.threat[route] == "high":
+        return False
+    if route == "river" and (
+        conditions.time_of_day == "night" or conditions.weather == "storm"
+    ):
+        return False
+    if route == "narrow" and conditions.convoy_size == "large":
+        return False
+    return True
+
+
+def _random_conditions(rng: random.Random) -> MissionConditions:
+    return MissionConditions(
+        threat={route: rng.choice(THREATS) for route in ROUTES},
+        weather=rng.choice(WEATHER),
+        time_of_day=rng.choice(TIMES),
+        convoy_size=rng.choice(CONVOY_SIZES),
+    )
+
+
+def perturb_conditions(
+    conditions: MissionConditions, rng: random.Random, drift: float
+) -> MissionConditions:
+    """Execution-phase reality: each speculative value independently
+    drifts with probability ``drift`` (weather fronts move, threat
+    intelligence updates)."""
+
+    def maybe(value, pool):
+        return rng.choice(pool) if rng.random() < drift else value
+
+    return MissionConditions(
+        threat={r: maybe(t, THREATS) for r, t in conditions.threat.items()},
+        weather=maybe(conditions.weather, WEATHER),
+        time_of_day=conditions.time_of_day,  # time does not drift
+        convoy_size=conditions.convoy_size,  # nor does the convoy
+    )
+
+
+class MissionOutcome(NamedTuple):
+    """One completed mission: planned vs executed conditions and, per
+    route, whether taking it would have succeeded (ground truth under
+    the *executed* conditions — what the after-action review reveals)."""
+
+    planned: MissionConditions
+    executed: MissionConditions
+    route_ok: Dict[str, bool]
+
+
+def simulate_missions(
+    n: int, seed: int = 0, drift: float = 0.25
+) -> List[MissionOutcome]:
+    """Run ``n`` missions; drift controls planning/execution divergence."""
+    rng = random.Random(seed)
+    missions: List[MissionOutcome] = []
+    for __ in range(n):
+        planned = _random_conditions(rng)
+        executed = perturb_conditions(planned, rng, drift)
+        route_ok = {
+            route: ground_truth_route_ok(route, executed) for route in ROUTES
+        }
+        missions.append(MissionOutcome(planned, executed, route_ok))
+    return missions

@@ -1,0 +1,147 @@
+"""Symbolic learning of resupply route policies.
+
+Policies are strings ``take <route>``; the learnable semantics are
+constraints on when a route may be taken, conditioned on mission
+context.  The planning/execution distinction of the paper maps to which
+conditions (speculative vs real) are used as the example context.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.asp.atoms import Atom, Literal
+from repro.asp.terms import Constant
+from repro.asg.annotated import ASG
+from repro.asg.asg_parser import parse_asg
+from repro.asg.semantics import accepts
+from repro.core.contexts import Context
+from repro.learning.decomposable import learn_auto
+from repro.learning.mode_bias import CandidateRule, constraint_space
+from repro.learning.tasks import ASGLearningTask, ContextExample
+from repro.apps.resupply.domain import (
+    MissionConditions,
+    MissionOutcome,
+    ROUTES,
+)
+
+__all__ = [
+    "resupply_asg",
+    "resupply_hypothesis_space",
+    "conditions_to_context",
+    "ResupplyLearner",
+]
+
+_ASG_TEXT = """
+order -> "take" route
+route -> "main"   { route(main). }
+route -> "river"  { route(river). }
+route -> "narrow" { route(narrow). }
+"""
+
+ORDER_PRODUCTION = 0
+
+
+def resupply_asg() -> ASG:
+    return parse_asg(_ASG_TEXT)
+
+
+def resupply_hypothesis_space(max_body: int = 2) -> List[CandidateRule]:
+    """Constraints over route choice and mission conditions."""
+    pool: List[Literal] = []
+    for route in ROUTES:
+        pool.append(Literal(Atom("route", [Constant(route)], (2,)), True))
+    for condition in (
+        "high_threat_main",
+        "high_threat_river",
+        "high_threat_narrow",
+        "storm",
+        "night",
+        "large_convoy",
+    ):
+        pool.append(Literal(Atom(condition), True))
+    return constraint_space(pool, prod_ids=(ORDER_PRODUCTION,), max_body=max_body)
+
+
+def conditions_to_context(conditions: MissionConditions) -> Context:
+    lines = []
+    for route in ROUTES:
+        if conditions.threat[route] == "high":
+            lines.append(f"high_threat_{route}.")
+    if conditions.weather == "storm":
+        lines.append("storm.")
+    if conditions.time_of_day == "night":
+        lines.append("night.")
+    if conditions.convoy_size == "large":
+        lines.append("large_convoy.")
+    return Context.from_text("\n".join(lines))
+
+
+class ResupplyLearner:
+    """Accumulates mission experience and learns a route GPM.
+
+    ``phase`` selects the paper's two policy times: ``"planning"``
+    trains on speculative conditions, ``"execution"`` on the observed
+    real-time values.  Ground-truth labels always come from execution
+    (that is what the mission revealed), so planning-phase learning sees
+    label noise proportional to the condition drift — exactly the
+    paper's observation that planning data has "varying degrees of
+    accuracy".
+    """
+
+    def __init__(self, phase: str = "execution", max_body: int = 2):
+        if phase not in ("planning", "execution"):
+            raise ValueError("phase must be 'planning' or 'execution'")
+        self.phase = phase
+        self.asg = resupply_asg()
+        self.space = resupply_hypothesis_space(max_body)
+        self.missions: List[MissionOutcome] = []
+        self.learned: Optional[ASG] = None
+
+    def observe(self, missions: Sequence[MissionOutcome]) -> None:
+        self.missions.extend(missions)
+
+    def _examples(self) -> Tuple[List[ContextExample], List[ContextExample]]:
+        positive: List[ContextExample] = []
+        negative: List[ContextExample] = []
+        for mission in self.missions:
+            conditions = (
+                mission.planned if self.phase == "planning" else mission.executed
+            )
+            context = conditions_to_context(conditions).program
+            for route in ROUTES:
+                example = ContextExample(("take", route), context)
+                if mission.route_ok[route]:
+                    positive.append(example)
+                else:
+                    negative.append(example)
+        return positive, negative
+
+    def fit(self) -> "ResupplyLearner":
+        positive, negative = self._examples()
+        task = ASGLearningTask(self.asg, self.space, positive, negative)
+        # planning data can be contradictory (condition drift); learn_auto
+        # grows the violation budget automatically
+        result = learn_auto(task, max_rules=8, fallback=False)
+        self.learned = self.asg.with_rules(result.rules)
+        return self
+
+    def route_allowed(self, route: str, conditions: MissionConditions) -> bool:
+        if self.learned is None:
+            raise RuntimeError("learner not fitted")
+        grammar = self.learned.with_context(
+            conditions_to_context(conditions).program
+        )
+        return accepts(grammar, ("take", route))
+
+    def accuracy(self, missions: Sequence[MissionOutcome]) -> float:
+        """Route-viability prediction accuracy under executed conditions."""
+        total = 0
+        correct = 0
+        for mission in missions:
+            for route in ROUTES:
+                total += 1
+                predicted = self.route_allowed(route, mission.executed)
+                if predicted == mission.route_ok[route]:
+                    correct += 1
+        return correct / total if total else 1.0

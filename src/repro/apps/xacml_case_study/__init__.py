@@ -1,0 +1,15 @@
+"""The Section IV.C access-control case study (Figure 3).
+
+Learn XACML policies from request/response logs; study the three
+failure modes the paper reports (overfitting, unsafe generalization,
+noisy datasets) and the three mitigations it proposes (background
+knowledge / statistics, pre-defined restrictions, dataset filtering).
+"""
+
+from repro.apps.xacml_case_study.pipeline import (
+    LearnedPolicyModel,
+    XacmlLearningPipeline,
+    semantic_accuracy,
+)
+
+__all__ = ["XacmlLearningPipeline", "LearnedPolicyModel", "semantic_accuracy"]

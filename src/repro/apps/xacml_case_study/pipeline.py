@@ -1,0 +1,243 @@
+"""The XACML learning pipeline (paper Section IV.C / Figure 3).
+
+Configuration knobs map one-to-one to the paper's discussion:
+
+* ``prefer_general`` — the *background knowledge / statistics*
+  mitigation: user-identity literals are penalized relative to role
+  literals, steering generalization toward roles ("prior knowledge
+  about the role of a user makes it possible to generate policies that
+  are relevant to the role of the user rather than ... that specific
+  user");
+* ``require_target`` — the *target-based restriction* mitigation:
+  every learnable rule must explicitly pin a deterministic target (the
+  user), preventing unsafe generalization of rare per-user grants;
+* ``filter_noise`` — the *dataset filtering* mitigation: drop
+  irrelevant (NotApplicable) responses and resolve inconsistencies
+  before learning;
+* ``allow_irrelevant_head`` — when True, ``not_applicable`` is a legal
+  decision the learner may conclude — the Figure 3b "Policy 3" failure
+  mode of misinterpreting an irrelevant response as a proper decision;
+* ``prefer_specific`` — an *adversarial tie-break*: among equally
+  minimal hypotheses, pick user-identity rules over role rules.  An
+  optimal learner like ILASP is free to return any cost-minimal
+  solution, so this knob exhibits the overfitting risk the paper
+  describes without changing what counts as optimal coverage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.asp.atoms import Atom
+from repro.asp.parser import parse_program
+from repro.asp.rules import Program
+from repro.asp.solver import solve
+from repro.asp.terms import Constant
+from repro.datasets.noise import filter_low_quality
+from repro.datasets.xacml_conformance import (
+    ACTIONS,
+    LogEntry,
+    RESOURCE_TYPES,
+    ROLES,
+    USERS,
+    USER_ROLES,
+    decision_for,
+    entry_to_example,
+    request_to_context,
+)
+from repro.errors import UnsatisfiableTaskError
+from repro.learning.decomposable import learn_auto
+from repro.learning.mode_bias import CandidateRule, ModeAtom, ModeBias, Placeholder
+from repro.learning.tasks import LASTask
+from repro.policy.model import Decision, Request
+from repro.policy.xacml import Policy
+
+__all__ = ["XacmlLearningPipeline", "LearnedPolicyModel", "semantic_accuracy"]
+
+_BACKGROUND = "decision(deny) :- not decision(permit), not decision(not_applicable).\n"
+_BACKGROUND_STRICT = "decision(deny) :- not decision(permit).\n"
+
+
+class LearnedPolicyModel:
+    """A learned decision program with an evaluation interface."""
+
+    def __init__(self, background: Program, rules: Sequence[CandidateRule]):
+        self.background = background
+        self.rules = list(rules)
+
+    def decide(self, request: Request) -> Decision:
+        program = Program(list(self.background))
+        program.extend(request_to_context(request))
+        for candidate in self.rules:
+            program.add(candidate.rule)
+        models = solve(program, max_models=1)
+        if not models:
+            return Decision.INDETERMINATE
+        model = models[0]
+        for decision in (Decision.PERMIT, Decision.NOT_APPLICABLE, Decision.DENY):
+            if Atom("decision", [Constant(decision.value)]) in model:
+                return decision
+        return Decision.DENY
+
+    def rule_texts(self) -> List[str]:
+        return sorted(repr(c.rule) for c in self.rules)
+
+    def __repr__(self) -> str:
+        return "LearnedPolicyModel:\n  " + "\n  ".join(self.rule_texts() or ["<empty>"])
+
+
+class XacmlLearningPipeline:
+    """End-to-end: log entries -> learned decision rules."""
+
+    def __init__(
+        self,
+        max_body: int = 3,
+        max_rules: int = 4,
+        max_violations: int = 0,
+        prefer_general: bool = False,
+        prefer_specific: bool = False,
+        require_target: bool = False,
+        filter_noise: bool = False,
+        allow_irrelevant_head: bool = False,
+        user_literal_penalty: int = 2,
+        strict: bool = False,
+    ):
+        self.max_body = max_body
+        self.max_rules = max_rules
+        self.max_violations = max_violations
+        self.prefer_general = prefer_general
+        self.prefer_specific = prefer_specific
+        self.require_target = require_target
+        self.filter_noise = filter_noise
+        self.allow_irrelevant_head = allow_irrelevant_head
+        self.user_literal_penalty = user_literal_penalty
+        self.strict = strict
+
+    # -- hypothesis space -------------------------------------------------
+
+    def hypothesis_space(self) -> List[CandidateRule]:
+        verdicts = [Constant("permit")]
+        if self.allow_irrelevant_head:
+            verdicts.append(Constant("not_applicable"))
+        bias = ModeBias(
+            head_modes=[ModeAtom(Atom("decision", [Placeholder("verdict")]))],
+            body_modes=[
+                ModeAtom(Atom("role", [Placeholder("role")])),
+                ModeAtom(Atom("user", [Placeholder("user")])),
+                ModeAtom(Atom("action", [Placeholder("action")])),
+                ModeAtom(Atom("rtype", [Placeholder("rtype")])),
+            ],
+            pools={
+                "verdict": verdicts,
+                "role": [Constant(r) for r in ROLES],
+                "user": [Constant(u) for u in USERS],
+                "action": [Constant(a) for a in ACTIONS],
+                "rtype": [Constant(t) for t in RESOURCE_TYPES],
+            },
+            max_body=self.max_body,
+            allow_constraints=False,
+            allow_negation=False,
+        )
+        space = bias.generate()
+        space = [c for c in space if self._well_formed(c)]
+        if self.require_target:
+            space = [c for c in space if self._has_user_literal(c)]
+        if self.prefer_general:
+            for candidate in space:
+                if self._has_user_literal(candidate):
+                    candidate.cost += self.user_literal_penalty
+        if self.prefer_specific:
+            # adversarial tie-break: order user-identity rules first so
+            # they win cost ties (see the module docstring)
+            space.sort(key=lambda c: (c.cost, not self._has_user_literal(c)))
+        return space
+
+    @staticmethod
+    def _has_user_literal(candidate: CandidateRule) -> bool:
+        return any(
+            lit.atom.predicate == "user" for lit in candidate.rule.body
+        )
+
+    @staticmethod
+    def _well_formed(candidate: CandidateRule) -> bool:
+        """At most one literal per attribute predicate (a request has one
+        value per attribute, so duplicates are vacuous or contradictory)."""
+        predicates = [lit.atom.predicate for lit in candidate.rule.body]
+        return len(predicates) == len(set(predicates))
+
+    # -- learning -----------------------------------------------------------
+
+    def background(self) -> Program:
+        text = _BACKGROUND if self.allow_irrelevant_head else _BACKGROUND_STRICT
+        return parse_program(text)
+
+    def learn(self, log: Sequence[LogEntry]) -> LearnedPolicyModel:
+        entries = list(log)
+        if self.filter_noise:
+            entries = filter_low_quality(entries)
+        else:
+            # irrelevant responses are only representable when the head
+            # pool includes not_applicable; otherwise they are skipped
+            # with a warning-by-construction (they cannot be expressed)
+            if not self.allow_irrelevant_head:
+                entries = [
+                    e
+                    for e in entries
+                    if e.decision in (Decision.PERMIT, Decision.DENY)
+                ]
+        examples = [entry_to_example(entry) for entry in entries]
+        task = LASTask(self.background(), self.hypothesis_space(), examples, [])
+        try:
+            result = learn_auto(
+                task,
+                max_rules=self.max_rules,
+                max_violations=self.max_violations,
+                auto_violations=not self.strict,
+                fallback=False,
+            )
+        except UnsatisfiableTaskError:
+            if not self.strict:
+                raise
+            # the paper's noisy-dataset failure mode: a strict learner
+            # finds no consistent policy at all — deny-by-default remains
+            return LearnedPolicyModel(self.background(), [])
+        return LearnedPolicyModel(self.background(), result.candidates)
+
+
+def _coherent_requests() -> List[Request]:
+    """All requests whose role matches the user's actual role."""
+    out = []
+    for user in USERS:
+        for action in ACTIONS:
+            for rtype in RESOURCE_TYPES:
+                out.append(
+                    Request(
+                        {
+                            "subject": {"id": user, "role": USER_ROLES[user]},
+                            "action": {"id": action},
+                            "resource": {"type": rtype},
+                        }
+                    )
+                )
+    return out
+
+
+def semantic_accuracy(
+    model: LearnedPolicyModel,
+    ground_truth: Sequence[Policy],
+    requests: Optional[Sequence[Request]] = None,
+) -> float:
+    """Decision agreement between the learned model and the ground truth
+    over the full coherent request space (the *transfer* measure that
+    exposes overfitting: high log accuracy, low semantic accuracy)."""
+    if requests is None:
+        requests = _coherent_requests()
+    if not requests:
+        return 1.0
+    agree = 0
+    for request in requests:
+        expected = decision_for(ground_truth, request)
+        actual = model.decide(request)
+        if actual == expected:
+            agree += 1
+    return agree / len(requests)

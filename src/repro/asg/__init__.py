@@ -1,0 +1,41 @@
+"""Answer Set Grammars (ASG) — the paper's core formalism (Section II).
+
+An ASG pairs a context-free grammar (policy *syntax*) with per-production
+ASP programs (policy *semantics*).  The language of an ASG under a
+context ``C`` — ``L(G(C))`` — is exactly the set of policies a
+generative policy model admits in that context.
+"""
+
+from repro.asg.annotated import ASG, validate_annotation
+from repro.asg.asg_parser import parse_asg
+from repro.asg.explain import (
+    BlockingConstraint,
+    RejectionExplanation,
+    context_counterfactuals,
+    explain_rejection,
+)
+from repro.asg.generation import generate_policies, generate_valid_trees
+from repro.asg.semantics import (
+    accepting_witness,
+    accepts,
+    reroot_rule,
+    tree_answer_sets,
+    tree_program,
+)
+
+__all__ = [
+    "ASG",
+    "validate_annotation",
+    "parse_asg",
+    "accepts",
+    "accepting_witness",
+    "tree_program",
+    "tree_answer_sets",
+    "reroot_rule",
+    "generate_policies",
+    "generate_valid_trees",
+    "explain_rejection",
+    "RejectionExplanation",
+    "BlockingConstraint",
+    "context_counterfactuals",
+]

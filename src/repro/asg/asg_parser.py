@@ -1,0 +1,157 @@
+"""Text format for Answer Set Grammars.
+
+The format extends the CFG format with an optional ASP block in braces
+after each production alternative:
+
+.. code-block:: none
+
+    policy -> "allow" subject action {
+        :- is(alice)@1, is(write)@2.   % semantic condition
+    }
+    policy -> "deny" subject action
+    subject -> "alice" { is(alice). }
+    subject -> "bob"   { is(bob). }
+    action  -> "read"  { is(read). }
+    action  -> "write" { is(write). }
+
+Annotations ``@i`` refer to the i-th symbol of the production's
+right-hand side, counting *all* symbols (terminals included), 1-indexed,
+as in the paper.  Brace matching is depth-aware, so ASP choice rules
+(``{ a ; b }``) inside an annotation block are fine.  ``|`` alternatives
+are allowed; a brace block binds to the alternative immediately before
+it.  ``%`` comments are handled by the ASP parser inside blocks; use
+``#`` for comments outside blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.asp.parser import parse_program
+from repro.asp.rules import Program
+from repro.errors import GrammarSyntaxError
+from repro.grammar.cfg import CFG, Production
+from repro.grammar.cfg_parser import _parse_rhs
+from repro.asg.annotated import ASG
+
+__all__ = ["parse_asg"]
+
+
+def _strip_comments(text: str) -> str:
+    """Remove ``#`` comments outside brace blocks (keep ASP ``%`` intact)."""
+    out: List[str] = []
+    depth = 0
+    for line in text.splitlines():
+        if depth == 0:
+            cut = line.find("#")
+            if cut != -1:
+                line = line[:cut]
+        depth += line.count("{") - line.count("}")
+        out.append(line)
+    return "\n".join(out)
+
+
+def _scan(text: str) -> List[Tuple[str, Optional[str]]]:
+    """Split source text into (production text, annotation text) pairs.
+
+    A production starts at ``lhs ->`` or a ``|`` continuation and runs
+    until ``{``, ``|``, or a newline at depth 0.
+    """
+    entries: List[Tuple[str, Optional[str]]] = []
+    pos = 0
+    n = len(text)
+    current: List[str] = []
+    pending_lhs: Optional[str] = None
+
+    def flush(annotation: Optional[str]) -> None:
+        nonlocal pending_lhs
+        chunk = "".join(current).strip()
+        current.clear()
+        if not chunk and annotation is None:
+            return
+        if chunk.startswith("|"):
+            if pending_lhs is None:
+                raise GrammarSyntaxError("'|' continuation without a preceding rule")
+            chunk = f"{pending_lhs} -> {chunk[1:].strip()}"
+        if "->" not in chunk and "::=" not in chunk:
+            raise GrammarSyntaxError(f"expected 'lhs -> rhs', got {chunk!r}")
+        arrow = "->" if "->" in chunk else "::="
+        pending_lhs = chunk.split(arrow, 1)[0].strip()
+        entries.append((chunk, annotation))
+
+    while pos < n:
+        char = text[pos]
+        if char == "{":
+            depth = 0
+            start = pos
+            while pos < n:
+                if text[pos] == "{":
+                    depth += 1
+                elif text[pos] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                pos += 1
+            if depth != 0:
+                raise GrammarSyntaxError("unbalanced braces in annotation block")
+            flush(text[start + 1 : pos])
+            pos += 1
+        elif char == "\n":
+            lookahead = text[pos + 1 :].lstrip()
+            joined = "".join(current).strip()
+            if joined and not lookahead.startswith("|") and not lookahead.startswith("{"):
+                flush(None)
+            pos += 1
+        elif char == "|" and "".join(current).strip():
+            flush(None)
+            current.append("|")
+            pos += 1
+        else:
+            current.append(char)
+            pos += 1
+    if "".join(current).strip():
+        flush(None)
+    return entries
+
+
+def parse_asg(text: str) -> ASG:
+    """Parse ASG source text into an :class:`ASG`."""
+    entries = _scan(_strip_comments(text))
+    if not entries:
+        raise GrammarSyntaxError("empty grammar")
+
+    nonterminals = set()
+    order: List[Tuple[str, List[Tuple[str, bool]], Optional[str]]] = []
+    for chunk, annotation in entries:
+        arrow = "->" if "->" in chunk else "::="
+        lhs, rhs_text = chunk.split(arrow, 1)
+        lhs = lhs.strip()
+        nonterminals.add(lhs)
+        rhs_text = rhs_text.strip()
+        if rhs_text in ("eps", "epsilon", ""):
+            rhs: List[Tuple[str, bool]] = []
+        else:
+            rhs = _parse_rhs(rhs_text, 0)
+        order.append((lhs, rhs, annotation))
+
+    terminals = set()
+    productions: List[Production] = []
+    annotations: Dict[int, Program] = {}
+    for index, (lhs, rhs, annotation) in enumerate(order):
+        symbols = []
+        for name, is_terminal in rhs:
+            if is_terminal:
+                terminals.add(name)
+            elif name not in nonterminals:
+                raise GrammarSyntaxError(
+                    f"nonterminal {name!r} used but never defined "
+                    f"(quote it if it is a terminal)"
+                )
+            symbols.append(name)
+        productions.append(Production(lhs, symbols))
+        if annotation and annotation.strip():
+            annotations[index] = parse_program(annotation)
+
+    start = order[0][0]
+    cfg = CFG(nonterminals, terminals, productions, start)
+    return ASG(cfg, annotations)

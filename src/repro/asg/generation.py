@@ -1,0 +1,75 @@
+"""Policy generation from an ASG: enumerating ``L(G(C))``.
+
+This is the *generative* step of the generative-policy model (paper
+Section III.A): given a learned ASG and a current context, enumerate the
+policies (strings) that are valid in that context.  Enumeration walks
+the underlying CFG's parse trees shortest-first and keeps those whose
+induced program ``G[PT]`` is satisfiable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.asp.rules import Program
+from repro.asg.annotated import ASG
+from repro.asg.semantics import tree_answer_sets
+from repro.grammar.cfg import SymbolString
+from repro.grammar.generator import generate_trees
+from repro.grammar.parse_tree import ParseTree
+
+__all__ = ["generate_valid_trees", "generate_policies"]
+
+
+def generate_valid_trees(
+    asg: ASG,
+    context: Optional[Program] = None,
+    max_length: int = 12,
+    max_trees: int = 10_000,
+    max_candidates: int = 100_000,
+) -> Iterator[Tuple[ParseTree, SymbolString]]:
+    """Yield ``(parse tree, string)`` for every valid derivation of ``G(C)``.
+
+    ``max_length`` bounds the policy-string length; ``max_candidates``
+    bounds the number of CFG derivations examined (syntactically valid
+    but semantically rejected candidates count toward it).
+    """
+    grammar = asg if context is None else asg.with_context(context)
+    produced = 0
+    for tree in generate_trees(
+        asg.cfg, max_length=max_length, max_trees=max_candidates
+    ):
+        if tree_answer_sets(grammar, tree, max_models=1):
+            yield tree, tree.yield_string()
+            produced += 1
+            if produced >= max_trees:
+                return
+
+
+def generate_policies(
+    asg: ASG,
+    context: Optional[Program] = None,
+    max_length: int = 12,
+    max_policies: int = 10_000,
+    max_candidates: int = 100_000,
+) -> List[SymbolString]:
+    """Enumerate the distinct policy strings of ``L(G(C))``.
+
+    The result is the policy set the PReP hands to the Policy Repository
+    in the AGENP architecture.
+    """
+    seen: Set[SymbolString] = set()
+    out: List[SymbolString] = []
+    for __, string in generate_valid_trees(
+        asg,
+        context,
+        max_length=max_length,
+        max_trees=max_candidates,
+        max_candidates=max_candidates,
+    ):
+        if string not in seen:
+            seen.add(string)
+            out.append(string)
+            if len(out) >= max_policies:
+                break
+    return out

@@ -1,0 +1,40 @@
+"""Convenience entry points for the ASP engine.
+
+These wrap parse → ground → solve into one-liners used throughout the
+higher layers::
+
+    >>> from repro.asp import solve_text
+    >>> models = solve_text("a :- not b. b :- not a.")
+    >>> sorted(sorted(str(x) for x in m) for m in models)
+    [['a'], ['b']]
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.asp.parser import parse_program
+from repro.asp.rules import Program
+from repro.asp.solver import AnswerSet, solve
+
+__all__ = ["solve_text", "is_satisfiable_text", "solve_program", "is_satisfiable"]
+
+
+def solve_text(text: str, max_models: Optional[int] = None) -> List[AnswerSet]:
+    """Parse, ground, and solve ASP source text."""
+    return solve(parse_program(text), max_models=max_models)
+
+
+def is_satisfiable_text(text: str) -> bool:
+    """True iff the program given as source text has at least one answer set."""
+    return bool(solve_text(text, max_models=1))
+
+
+def solve_program(program: Program, max_models: Optional[int] = None) -> List[AnswerSet]:
+    """Ground and solve an in-memory :class:`Program`."""
+    return solve(program, max_models=max_models)
+
+
+def is_satisfiable(program: Program) -> bool:
+    """True iff ``program`` has at least one answer set."""
+    return bool(solve(program, max_models=1))

@@ -1,0 +1,206 @@
+"""Atoms, literals, and builtin comparisons.
+
+An :class:`Atom` may carry an *annotation* — the trace of a parse-tree
+node, per the Answer Set Grammar semantics of the paper (Section II.A):
+``a(1)@2`` is the atom ``a(1)`` annotated with ``2``.  When computing
+answer sets, annotated atoms are ordinary atoms whose identity includes
+the annotation (``a@2``, ``a@3`` and ``a`` are three distinct atoms), so
+the annotation is simply part of the atom's hash/equality.
+
+Annotations are tuples of integers (traces).  The surface syntax
+``a@k`` with a single integer ``k`` is represented as the length-1 trace
+``(k,)``; the ASG machinery re-roots annotations onto longer traces when
+building ``G[PT]`` (see :mod:`repro.asg.semantics`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple
+
+from repro.asp.terms import Substitution, Term, Variable, term_sort_key
+
+__all__ = ["Atom", "Literal", "Comparison", "TRUE_ATOM"]
+
+Trace = Tuple[int, ...]
+
+
+class Atom:
+    """A (possibly annotated) predicate atom ``p(t1, ..., tn)@trace``."""
+
+    __slots__ = ("predicate", "args", "annotation", "_hash")
+
+    def __init__(
+        self,
+        predicate: str,
+        args: Sequence[Term] = (),
+        annotation: Optional[Trace] = None,
+    ):
+        self.predicate = predicate
+        self.args: Tuple[Term, ...] = tuple(args)
+        self.annotation: Optional[Trace] = (
+            tuple(annotation) if annotation is not None else None
+        )
+        self._hash = hash((predicate, self.args, self.annotation))
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    @property
+    def signature(self) -> Tuple[str, int]:
+        """The ``(predicate, arity)`` pair, ignoring annotations."""
+        return (self.predicate, len(self.args))
+
+    def is_ground(self) -> bool:
+        return all(a.is_ground() for a in self.args)
+
+    def variables(self) -> Iterator[Variable]:
+        for arg in self.args:
+            yield from arg.variables()
+
+    def substitute(self, theta: Substitution) -> "Atom":
+        return Atom(
+            self.predicate,
+            [a.substitute(theta) for a in self.args],
+            self.annotation,
+        )
+
+    def evaluate(self) -> "Atom":
+        """Evaluate arithmetic inside arguments (requires groundness)."""
+        return Atom(self.predicate, [a.evaluate() for a in self.args], self.annotation)
+
+    def with_annotation(self, trace: Optional[Trace]) -> "Atom":
+        """Return this atom re-annotated with ``trace``."""
+        return Atom(self.predicate, self.args, trace)
+
+    def sort_key(self) -> tuple:
+        return (
+            self.predicate,
+            len(self.args),
+            tuple(term_sort_key(a) for a in self.args),
+            self.annotation or (),
+        )
+
+    def __repr__(self) -> str:
+        if self.args:
+            inner = ", ".join(repr(a) for a in self.args)
+            base = f"{self.predicate}({inner})"
+        else:
+            base = self.predicate
+        if self.annotation is None:
+            return base
+        if len(self.annotation) == 1:
+            return f"{base}@{self.annotation[0]}"
+        return f"{base}@({', '.join(str(i) for i in self.annotation)})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Atom)
+            and self.predicate == other.predicate
+            and self.args == other.args
+            and self.annotation == other.annotation
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+
+TRUE_ATOM = Atom("true")
+"""A conventional always-true atom (used by internal transformations)."""
+
+
+class Literal:
+    """A positive or negation-as-failure literal over an :class:`Atom`."""
+
+    __slots__ = ("atom", "positive")
+
+    def __init__(self, atom: Atom, positive: bool = True):
+        self.atom = atom
+        self.positive = positive
+
+    def is_ground(self) -> bool:
+        return self.atom.is_ground()
+
+    def variables(self) -> Iterator[Variable]:
+        return self.atom.variables()
+
+    def substitute(self, theta: Substitution) -> "Literal":
+        return Literal(self.atom.substitute(theta), self.positive)
+
+    def negated(self) -> "Literal":
+        return Literal(self.atom, not self.positive)
+
+    def __repr__(self) -> str:
+        return repr(self.atom) if self.positive else f"not {self.atom!r}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Literal)
+            and self.positive == other.positive
+            and self.atom == other.atom
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.positive, self.atom))
+
+
+_COMPARATORS = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class Comparison:
+    """A builtin comparison ``t1 op t2`` evaluated at grounding time.
+
+    Comparison between terms uses the standard ASP total order
+    (integers before symbolic constants; see
+    :func:`repro.asp.terms.term_sort_key`).
+    """
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Term, right: Term):
+        if op == "=":
+            op = "=="
+        if op not in _COMPARATORS:
+            raise ValueError(f"unknown comparison operator: {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def is_ground(self) -> bool:
+        return self.left.is_ground() and self.right.is_ground()
+
+    def variables(self) -> Iterator[Variable]:
+        yield from self.left.variables()
+        yield from self.right.variables()
+
+    def substitute(self, theta: Substitution) -> "Comparison":
+        return Comparison(self.op, self.left.substitute(theta), self.right.substitute(theta))
+
+    def holds(self) -> bool:
+        """Evaluate the comparison; both sides must be ground."""
+        left = self.left.evaluate()
+        right = self.right.evaluate()
+        if self.op in ("==", "!="):
+            return _COMPARATORS[self.op](left, right)
+        return _COMPARATORS[self.op](term_sort_key(left), term_sort_key(right))
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} {self.op} {self.right!r}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Comparison)
+            and self.op == other.op
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.op, self.left, self.right))

@@ -1,0 +1,22 @@
+"""Shallow-ML baselines for the Section IV.A comparison.
+
+The paper reports that the ASG-based GPM "outperforms shallow Machine
+Learning techniques when learning complex policy models, as fewer
+examples are required to achieve a greater accuracy".  These four
+classifiers — decision tree, Bernoulli naive Bayes, logistic regression
+and k-NN, all on numpy — are the comparators in experiment E5.
+"""
+
+from repro.baselines.decision_tree import DecisionTreeClassifier
+from repro.baselines.features import OneHotEncoder
+from repro.baselines.knn import KNNClassifier
+from repro.baselines.logistic_regression import LogisticRegression
+from repro.baselines.naive_bayes import BernoulliNaiveBayes
+
+__all__ = [
+    "OneHotEncoder",
+    "DecisionTreeClassifier",
+    "BernoulliNaiveBayes",
+    "LogisticRegression",
+    "KNNClassifier",
+]

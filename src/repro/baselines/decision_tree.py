@@ -1,0 +1,97 @@
+"""A CART-style decision tree classifier (binary features, Gini split)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["DecisionTreeClassifier"]
+
+
+class _Node:
+    __slots__ = ("feature", "left", "right", "prediction")
+
+    def __init__(self, feature=None, left=None, right=None, prediction=None):
+        self.feature = feature
+        self.left = left
+        self.right = right
+        self.prediction = prediction
+
+
+def _gini(labels: np.ndarray) -> float:
+    if labels.size == 0:
+        return 0.0
+    p = labels.mean()
+    return 2.0 * p * (1.0 - p)
+
+
+class DecisionTreeClassifier:
+    """Binary classifier over one-hot features.
+
+    ``max_depth`` and ``min_samples_split`` are the usual regularizers;
+    with the defaults the tree grows until purity.
+    """
+
+    def __init__(self, max_depth: int = 12, min_samples_split: int = 2):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self._root: Optional[_Node] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        self._root = self._build(X, y, depth=0)
+        return self
+
+    def _majority(self, y: np.ndarray) -> int:
+        # ties break toward 0 (deny-by-default, the safe decision)
+        return int(y.mean() > 0.5)
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        if (
+            depth >= self.max_depth
+            or y.size < self.min_samples_split
+            or np.all(y == y[0])
+        ):
+            return _Node(prediction=self._majority(y))
+        parent_gini = _gini(y)
+        best_feature = None
+        best_score = parent_gini
+        for feature in range(X.shape[1]):
+            mask = X[:, feature] > 0.5
+            left, right = y[mask], y[~mask]
+            if left.size == 0 or right.size == 0:
+                continue
+            score = (left.size * _gini(left) + right.size * _gini(right)) / y.size
+            if score < best_score - 1e-12:
+                best_score = score
+                best_feature = feature
+        if best_feature is None:
+            return _Node(prediction=self._majority(y))
+        mask = X[:, best_feature] > 0.5
+        return _Node(
+            feature=best_feature,
+            left=self._build(X[mask], y[mask], depth + 1),
+            right=self._build(X[~mask], y[~mask], depth + 1),
+        )
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("classifier not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        out = np.zeros(X.shape[0], dtype=np.int64)
+        for i, row in enumerate(X):
+            node = self._root
+            while node.prediction is None:
+                node = node.left if row[node.feature] > 0.5 else node.right
+            out[i] = node.prediction
+        return out
+
+    def depth(self) -> int:
+        def walk(node):
+            if node is None or node.prediction is not None:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)

@@ -1,0 +1,65 @@
+"""Featurization of categorical policy examples for the shallow-ML baselines.
+
+The Section IV.A comparison pits the symbolic learner against "shallow
+Machine Learning techniques" on the same examples.  Examples in the
+symbolic world are (attribute dict, label); this module one-hot encodes
+the attribute dicts into numpy matrices so the baselines can train on
+identical data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["OneHotEncoder"]
+
+Value = Union[str, int, bool]
+Example = Mapping[str, Value]
+
+
+class OneHotEncoder:
+    """One-hot encoding with a fixed vocabulary learned from data.
+
+    Unknown (feature, value) pairs at transform time map to all-zeros
+    for that feature — the standard "ignore" strategy.
+    """
+
+    def __init__(self) -> None:
+        self._columns: List[Tuple[str, Value]] = []
+        self._index: Dict[Tuple[str, Value], int] = {}
+        self.fitted = False
+
+    def fit(self, examples: Sequence[Example]) -> "OneHotEncoder":
+        seen = {}
+        for example in examples:
+            for feature, value in example.items():
+                key = (feature, value)
+                if key not in seen:
+                    seen[key] = None
+        self._columns = sorted(seen.keys(), key=repr)
+        self._index = {key: i for i, key in enumerate(self._columns)}
+        self.fitted = True
+        return self
+
+    @property
+    def n_features(self) -> int:
+        return len(self._columns)
+
+    def transform(self, examples: Sequence[Example]) -> np.ndarray:
+        if not self.fitted:
+            raise RuntimeError("encoder not fitted")
+        matrix = np.zeros((len(examples), len(self._columns)), dtype=np.float64)
+        for row, example in enumerate(examples):
+            for feature, value in example.items():
+                col = self._index.get((feature, value))
+                if col is not None:
+                    matrix[row, col] = 1.0
+        return matrix
+
+    def fit_transform(self, examples: Sequence[Example]) -> np.ndarray:
+        return self.fit(examples).transform(examples)
+
+    def feature_names(self) -> List[str]:
+        return [f"{feature}={value!r}" for feature, value in self._columns]

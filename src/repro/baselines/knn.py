@@ -1,0 +1,37 @@
+"""k-nearest-neighbours over Hamming distance on one-hot features."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["KNNClassifier"]
+
+
+class KNNClassifier:
+    """Majority vote among the ``k`` nearest training rows.
+
+    Distance is Hamming (equivalently squared Euclidean on 0/1 data);
+    ties in the vote break toward 0 (deny-by-default).
+    """
+
+    def __init__(self, k: int = 3):
+        self.k = k
+        self._X = None
+        self._y = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNNClassifier":
+        self._X = np.asarray(X, dtype=np.float64)
+        self._y = np.asarray(y, dtype=np.int64)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._X is None:
+            raise RuntimeError("classifier not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        k = min(self.k, self._X.shape[0])
+        out = np.zeros(X.shape[0], dtype=np.int64)
+        for i, row in enumerate(X):
+            distances = np.abs(self._X - row).sum(axis=1)
+            nearest = np.argpartition(distances, k - 1)[:k]
+            out[i] = int(self._y[nearest].mean() > 0.5)
+        return out

@@ -1,0 +1,50 @@
+"""Bernoulli naive Bayes with Laplace smoothing."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BernoulliNaiveBayes"]
+
+
+class BernoulliNaiveBayes:
+    """Binary classifier over binary features.
+
+    ``alpha`` is the Laplace smoothing strength; priors come from class
+    frequencies (with smoothing, so single-class training sets work).
+    """
+
+    def __init__(self, alpha: float = 1.0):
+        self.alpha = alpha
+        self._log_prior = None
+        self._log_prob = None  # shape (2, n_features): log P(x=1 | class)
+        self._log_neg_prob = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "BernoulliNaiveBayes":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        n, d = X.shape
+        counts = np.array([np.sum(y == 0), np.sum(y == 1)], dtype=np.float64)
+        self._log_prior = np.log((counts + self.alpha) / (n + 2 * self.alpha))
+        prob = np.zeros((2, d))
+        for label in (0, 1):
+            rows = X[y == label]
+            ones = rows.sum(axis=0) if rows.size else np.zeros(d)
+            prob[label] = (ones + self.alpha) / (counts[label] + 2 * self.alpha)
+        self._log_prob = np.log(prob)
+        self._log_neg_prob = np.log(1.0 - prob)
+        return self
+
+    def predict_log_proba(self, X: np.ndarray) -> np.ndarray:
+        if self._log_prior is None:
+            raise RuntimeError("classifier not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        scores = (
+            X @ self._log_prob.T
+            + (1.0 - X) @ self._log_neg_prob.T
+            + self._log_prior
+        )
+        return scores
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return np.argmax(self.predict_log_proba(X), axis=1)

@@ -1,0 +1,18 @@
+"""The paper's primary contribution, packaged: generative policy models.
+
+* :class:`~repro.core.contexts.Context` — ASP fact sets describing situations.
+* :class:`~repro.core.gpm.GenerativePolicyModel` — ASG + learned hypothesis.
+* :mod:`repro.core.workflow` — the Figure 1 learn/adapt loop.
+"""
+
+from repro.core.contexts import Context
+from repro.core.gpm import GenerativePolicyModel
+from repro.core.workflow import LabeledExample, learn_gpm, relearn
+
+__all__ = [
+    "Context",
+    "GenerativePolicyModel",
+    "LabeledExample",
+    "learn_gpm",
+    "relearn",
+]

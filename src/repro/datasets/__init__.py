@@ -1,0 +1,43 @@
+"""Synthetic dataset generators.
+
+Stand-ins for the paper's external data (the att/XACML conformance
+logs), built from known ground truths so experiments can *measure*
+learning quality, plus the noise/pathology injectors the Figure 3b
+discussion calls for.
+"""
+
+from repro.datasets.noise import (
+    filter_low_quality,
+    mark_gaps_not_applicable,
+    inconsistency_rate,
+    inject_flips,
+    inject_not_applicable,
+)
+from repro.datasets.xacml_conformance import (
+    LogEntry,
+    decision_for,
+    default_ground_truth,
+    default_schema,
+    entry_to_example,
+    per_user_ground_truth,
+    request_to_context,
+    sample_log,
+    USER_ROLES,
+)
+
+__all__ = [
+    "LogEntry",
+    "default_schema",
+    "default_ground_truth",
+    "per_user_ground_truth",
+    "sample_log",
+    "decision_for",
+    "request_to_context",
+    "entry_to_example",
+    "USER_ROLES",
+    "inject_flips",
+    "inject_not_applicable",
+    "filter_low_quality",
+    "mark_gaps_not_applicable",
+    "inconsistency_rate",
+]

@@ -1,0 +1,113 @@
+"""Noise injection and the paper's dataset-filtering mitigation.
+
+Section IV.C: "'Low quality' examples include inconsistent responses to
+similar requests and requests associated with irrelevant responses
+which do not reflect appropriate decisions of a policy (i.e.,
+'not applicable' decision for XACML policies)."
+
+:func:`inject_flips` and :func:`inject_not_applicable` create the two
+kinds of low-quality examples; :func:`filter_low_quality` is the formal
+filter the paper proposes: drop irrelevant responses, and resolve
+inconsistent duplicates by majority (dropping exact ties).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter, defaultdict
+from typing import Dict, List, Sequence, Tuple
+
+from repro.datasets.xacml_conformance import LogEntry
+from repro.policy.model import Decision
+
+__all__ = [
+    "inject_flips",
+    "inject_not_applicable",
+    "filter_low_quality",
+    "inconsistency_rate",
+]
+
+
+def inject_flips(log: Sequence[LogEntry], rate: float, seed: int = 0) -> List[LogEntry]:
+    """Flip permit<->deny on a fraction of entries (inconsistent responses)."""
+    rng = random.Random(seed)
+    out: List[LogEntry] = []
+    for entry in log:
+        decision = entry.decision
+        if decision in (Decision.PERMIT, Decision.DENY) and rng.random() < rate:
+            decision = Decision.DENY if decision is Decision.PERMIT else Decision.PERMIT
+        out.append(LogEntry(entry.request, decision))
+    return out
+
+
+def inject_not_applicable(
+    log: Sequence[LogEntry], rate: float, seed: int = 0
+) -> List[LogEntry]:
+    """Replace a fraction of responses with the irrelevant NotApplicable."""
+    rng = random.Random(seed)
+    out: List[LogEntry] = []
+    for entry in log:
+        decision = entry.decision
+        if rng.random() < rate:
+            decision = Decision.NOT_APPLICABLE
+        out.append(LogEntry(entry.request, decision))
+    return out
+
+
+def mark_gaps_not_applicable(log: Sequence[LogEntry], policies) -> List[LogEntry]:
+    """Relabel entries that no ground-truth policy actually matched.
+
+    A real XACML PDP returns *NotApplicable* when no policy applies; the
+    synthetic ground truth maps that to a deny-by-default.  This
+    injector restores the realistic log: requests outside every
+    policy's target carry the irrelevant NotApplicable response — the
+    systematic version of the paper's "Policy 3" low-quality examples.
+    """
+    from repro.policy.evaluation import evaluate_policy_set
+
+    out: List[LogEntry] = []
+    for entry in log:
+        raw = evaluate_policy_set(policies, entry.request, "permit-overrides")
+        if raw in (Decision.NOT_APPLICABLE, Decision.INDETERMINATE):
+            out.append(LogEntry(entry.request, Decision.NOT_APPLICABLE))
+        else:
+            out.append(entry)
+    return out
+
+
+def filter_low_quality(log: Sequence[LogEntry]) -> List[LogEntry]:
+    """The paper's filtering mitigation.
+
+    1. Drop entries with irrelevant responses (NotApplicable /
+       Indeterminate are not decisions a specified policy produces).
+    2. Group the rest by request; keep the majority decision per request
+       (dropping the group entirely on an exact tie — irreconcilably
+       inconsistent evidence).
+    """
+    by_request: Dict[tuple, List[LogEntry]] = defaultdict(list)
+    for entry in log:
+        if entry.decision in (Decision.PERMIT, Decision.DENY):
+            by_request[entry.request.key()].append(entry)
+    out: List[LogEntry] = []
+    for entries in by_request.values():
+        counts = Counter(entry.decision for entry in entries)
+        ranked = counts.most_common()
+        if len(ranked) > 1 and ranked[0][1] == ranked[1][1]:
+            continue  # exact tie: drop the inconsistent group
+        majority = ranked[0][0]
+        out.extend(entry for entry in entries if entry.decision is majority)
+    return out
+
+
+def inconsistency_rate(log: Sequence[LogEntry]) -> float:
+    """Fraction of entries whose request also appears with a different
+    decision — a dataset-quality diagnostic."""
+    decisions: Dict[tuple, set] = defaultdict(set)
+    for entry in log:
+        decisions[entry.request.key()].add(entry.decision)
+    if not log:
+        return 0.0
+    inconsistent = sum(
+        1 for entry in log if len(decisions[entry.request.key()]) > 1
+    )
+    return inconsistent / len(log)

@@ -1,0 +1,223 @@
+"""Synthetic stand-in for the att/XACML conformance request/response dataset.
+
+The paper's Section IV.C case study learns XACML policies from "a public
+dataset of requests and responses" (offline here).  This generator
+produces the same *kind* of data with a known ground truth, so correct
+and incorrect learning (Figure 3a/3b) can be measured rather than
+eyeballed:
+
+* a fixed attribute schema (roles, users, actions, resource types);
+* a configurable ground-truth policy set;
+* request/response logs sampled from the ground truth, optionally
+  restricted to a sub-population (the overfitting inducer) or containing
+  per-user grants rarer than their role (the unsafe-generalization
+  inducer);
+* conversion of log entries to ASP contexts / partial interpretations
+  for the learner.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.asp.atoms import Atom
+from repro.asp.parser import parse_atom
+from repro.asp.rules import Program, fact
+from repro.asp.terms import Constant
+from repro.learning.tasks import PartialInterpretation
+from repro.policy.evaluation import evaluate_policy_set
+from repro.policy.model import (
+    CategoricalDomain,
+    Decision,
+    DomainSchema,
+    Effect,
+    Request,
+)
+from repro.policy.xacml import Match, Policy, Target, XacmlRule
+
+__all__ = [
+    "default_schema",
+    "default_ground_truth",
+    "per_user_ground_truth",
+    "LogEntry",
+    "sample_log",
+    "request_to_context",
+    "entry_to_example",
+    "decision_for",
+]
+
+ROLES = ("dba", "dev", "guest")
+USERS = ("u1", "u2", "u3", "u4", "u5", "u6")
+ACTIONS = ("read", "write")
+RESOURCE_TYPES = ("db", "file")
+
+# each user's role in the organization (fixed, known background knowledge)
+USER_ROLES: Dict[str, str] = {
+    "u1": "dba",
+    "u2": "dba",
+    "u3": "dev",
+    "u4": "dev",
+    "u5": "guest",
+    "u6": "guest",
+}
+
+
+def default_schema() -> DomainSchema:
+    """The attribute schema of the synthetic conformance suite."""
+    return DomainSchema(
+        {
+            ("subject", "role"): CategoricalDomain(ROLES),
+            ("subject", "id"): CategoricalDomain(USERS),
+            ("action", "id"): CategoricalDomain(ACTIONS),
+            ("resource", "type"): CategoricalDomain(RESOURCE_TYPES),
+        }
+    )
+
+
+def default_ground_truth() -> List[Policy]:
+    """The clean ground truth: role-based permits over a deny default.
+
+    * DBAs may do anything on the db;
+    * devs may read anything;
+    * everything else is denied.
+    """
+    return [
+        Policy(
+            "gt_dba",
+            [
+                XacmlRule(
+                    "r1",
+                    Effect.PERMIT,
+                    Target(
+                        [
+                            Match("subject", "role", "eq", "dba"),
+                            Match("resource", "type", "eq", "db"),
+                        ]
+                    ),
+                )
+            ],
+        ),
+        Policy(
+            "gt_dev_read",
+            [
+                XacmlRule(
+                    "r1",
+                    Effect.PERMIT,
+                    Target(
+                        [
+                            Match("subject", "role", "eq", "dev"),
+                            Match("action", "id", "eq", "read"),
+                        ]
+                    ),
+                )
+            ],
+        ),
+    ]
+
+
+def per_user_ground_truth(granted_users: Sequence[str] = ("u1",)) -> List[Policy]:
+    """Ground truth for the unsafe-generalization study: only *specific*
+    DBA users hold the write permission, not the role."""
+    rules = [
+        XacmlRule(
+            f"r_{user}",
+            Effect.PERMIT,
+            Target(
+                [
+                    Match("subject", "id", "eq", user),
+                    Match("action", "id", "eq", "write"),
+                    Match("resource", "type", "eq", "db"),
+                ]
+            ),
+        )
+        for user in granted_users
+    ]
+    return [Policy("gt_user_grants", rules, combining="permit-overrides")]
+
+
+def decision_for(policies: Sequence[Policy], request: Request) -> Decision:
+    """Ground-truth decision: permit-overrides over the permits, else deny."""
+    decision = evaluate_policy_set(policies, request, combining="permit-overrides")
+    if decision in (Decision.NOT_APPLICABLE, Decision.INDETERMINATE):
+        return Decision.DENY
+    return decision
+
+
+class LogEntry:
+    """One request/response pair of the access log."""
+
+    __slots__ = ("request", "decision")
+
+    def __init__(self, request: Request, decision: Decision):
+        self.request = request
+        self.decision = decision
+
+    def __repr__(self) -> str:
+        return f"LogEntry({self.request!r} -> {self.decision.value})"
+
+
+def _coherent_request(rng: random.Random, users: Sequence[str]) -> Request:
+    """A request whose role attribute is consistent with the user's role."""
+    user = rng.choice(list(users))
+    return Request(
+        {
+            "subject": {"id": user, "role": USER_ROLES[user]},
+            "action": {"id": rng.choice(ACTIONS)},
+            "resource": {"type": rng.choice(RESOURCE_TYPES)},
+        }
+    )
+
+
+def sample_log(
+    policies: Sequence[Policy],
+    n: int,
+    seed: int = 0,
+    users: Sequence[str] = USERS,
+) -> List[LogEntry]:
+    """Sample a request/response log from the ground truth.
+
+    Restricting ``users`` to a narrow sub-population is the paper's
+    overfitting inducer: the log only shows decisions for scenarios
+    "similar to the ones in the example dataset".
+    """
+    rng = random.Random(seed)
+    return [
+        LogEntry(request, decision_for(policies, request))
+        for request in (
+            _coherent_request(rng, users) for __ in range(n)
+        )
+    ]
+
+
+def request_to_context(request: Request) -> Program:
+    """Encode a request as ASP context facts.
+
+    ``subject.role=dba`` becomes ``role(dba).``, ``subject.id=u1``
+    becomes ``user(u1).``, ``action.id`` becomes ``action(...)``,
+    ``resource.type`` becomes ``rtype(...)``.
+    """
+    names = {
+        ("subject", "role"): "role",
+        ("subject", "id"): "user",
+        ("action", "id"): "action",
+        ("resource", "type"): "rtype",
+    }
+    program = Program()
+    for category, attribute, value in sorted(request.items()):
+        predicate = names.get((category, attribute))
+        if predicate is None:
+            predicate = f"{category}_{attribute}"
+        program.add(fact(Atom(predicate, [Constant(str(value))])))
+    return program
+
+
+def entry_to_example(entry: LogEntry) -> PartialInterpretation:
+    """Convert a log entry to an ILASP partial-interpretation example."""
+    verdict = entry.decision.value
+    others = {"permit", "deny", "not_applicable"} - {verdict}
+    return PartialInterpretation(
+        inclusions=[parse_atom(f"decision({verdict})")],
+        exclusions=[parse_atom(f"decision({other})") for other in sorted(others)],
+        context=request_to_context(entry.request),
+    )

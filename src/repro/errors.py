@@ -1,0 +1,72 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises exceptions derived from :class:`ReproError`, so
+callers can catch one base class at framework boundaries (e.g. the AGENP
+components catch ``ReproError`` when validating externally shared
+policies).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ASPError(ReproError):
+    """Base class for errors raised by the ASP subsystem."""
+
+
+class ASPSyntaxError(ASPError):
+    """Raised when ASP source text cannot be parsed."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (at line {line}, column {column})"
+        super().__init__(message)
+
+
+class UnsafeRuleError(ASPError):
+    """Raised when a rule contains a variable not bound by a positive body literal."""
+
+
+class GroundingError(ASPError):
+    """Raised when grounding fails (e.g. arithmetic on non-integers)."""
+
+
+class SolverError(ASPError):
+    """Raised when solving fails or resource limits are exceeded."""
+
+
+class GrammarError(ReproError):
+    """Base class for CFG/ASG errors."""
+
+
+class GrammarSyntaxError(GrammarError):
+    """Raised when grammar source text cannot be parsed."""
+
+
+class AmbiguityLimitError(GrammarError):
+    """Raised when a parse forest exceeds the configured tree limit."""
+
+
+class LearningError(ReproError):
+    """Base class for inductive-learning errors."""
+
+
+class UnsatisfiableTaskError(LearningError):
+    """Raised when a learning task has no inductive solution in its hypothesis space."""
+
+
+class PolicyError(ReproError):
+    """Base class for policy-layer errors."""
+
+
+class PolicyValidationError(PolicyError):
+    """Raised when a policy fails structural validation."""
+
+
+class AgenpError(ReproError):
+    """Base class for AGENP framework errors."""

@@ -1,0 +1,23 @@
+"""Context-free grammar substrate: CFGs, Earley parsing, enumeration.
+
+The ASG layer (:mod:`repro.asg`) builds on this package: a policy
+language's *syntax* is a CFG here, and the ASG adds ASP annotations to
+its productions.
+"""
+
+from repro.grammar.cfg import CFG, Production
+from repro.grammar.cfg_parser import parse_cfg
+from repro.grammar.earley import parse_trees, recognize
+from repro.grammar.generator import generate_strings, generate_trees
+from repro.grammar.parse_tree import ParseTree
+
+__all__ = [
+    "CFG",
+    "Production",
+    "parse_cfg",
+    "recognize",
+    "parse_trees",
+    "generate_trees",
+    "generate_strings",
+    "ParseTree",
+]

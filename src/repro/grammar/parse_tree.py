@@ -1,0 +1,106 @@
+"""Parse trees with traces.
+
+Per the paper (Section II.A), each node of a parse tree is identified by
+its *trace*: the root has trace ``[]``, the i-th child of the root has
+trace ``[i]`` (1-indexed), and so on.  Traces are what the Answer Set
+Grammar semantics uses to annotate atoms (``G[PT]`` in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.grammar.cfg import Production, Symbol, SymbolString
+
+__all__ = ["ParseTree", "Trace"]
+
+Trace = Tuple[int, ...]
+
+
+class ParseTree:
+    """A node of a parse tree.
+
+    Terminal leaves have ``production is None`` and no children; interior
+    nodes carry the production applied at that node, and their children
+    correspond 1:1 (ordered) to the production's right-hand side.
+    """
+
+    __slots__ = ("symbol", "production", "children")
+
+    def __init__(
+        self,
+        symbol: Symbol,
+        production: Optional[Production] = None,
+        children: Sequence["ParseTree"] = (),
+    ):
+        self.symbol = symbol
+        self.production = production
+        self.children: Tuple[ParseTree, ...] = tuple(children)
+        if production is not None and len(self.children) != len(production.rhs):
+            raise ValueError(
+                f"production {production!r} expects {len(production.rhs)} children, "
+                f"got {len(self.children)}"
+            )
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.production is None
+
+    def yield_string(self) -> SymbolString:
+        """The terminal string this tree derives (left-to-right leaf concatenation)."""
+        if self.is_leaf:
+            return (self.symbol,)
+        out: List[Symbol] = []
+        for child in self.children:
+            out.extend(child.yield_string())
+        return tuple(out)
+
+    def nodes_with_traces(self, prefix: Trace = ()) -> Iterator[Tuple["ParseTree", Trace]]:
+        """Yield every node along with its trace, depth-first pre-order.
+
+        The root's trace is the empty tuple; the i-th child of a node with
+        trace ``t`` has trace ``t + (i,)`` with ``i`` starting at 1.
+        """
+        yield self, prefix
+        for index, child in enumerate(self.children, start=1):
+            yield from child.nodes_with_traces(prefix + (index,))
+
+    def interior_nodes(self) -> Iterator[Tuple["ParseTree", Trace]]:
+        """Nonterminal nodes (those carrying a production) with traces."""
+        for node, trace in self.nodes_with_traces():
+            if node.production is not None:
+                yield node, trace
+
+    def depth(self) -> int:
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def size(self) -> int:
+        return 1 + sum(child.size() for child in self.children)
+
+    def pretty(self, indent: int = 0) -> str:
+        """Human-readable multi-line rendering."""
+        pad = "  " * indent
+        if self.is_leaf:
+            return f"{pad}'{self.symbol}'"
+        lines = [f"{pad}{self.symbol}  [{self.production!r}]"]
+        lines += [child.pretty(indent + 1) for child in self.children]
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        if self.is_leaf:
+            return f"'{self.symbol}'"
+        inner = " ".join(repr(c) for c in self.children)
+        return f"({self.symbol} {inner})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ParseTree)
+            and self.symbol == other.symbol
+            and self.production == other.production
+            and self.children == other.children
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.symbol, self.production, self.children))

@@ -1,0 +1,57 @@
+"""Inductive learning of generative policy models (paper Section II.B).
+
+The pieces mirror the Figure 1 workflow: a hypothesis space built from a
+mode bias (:mod:`repro.learning.mode_bias`), a learning task pairing an
+initial ASG (or background ASP program) with context-dependent examples
+(:mod:`repro.learning.tasks`), and an ILASP-style optimal learner
+(:mod:`repro.learning.ilasp`).
+"""
+
+from repro.learning.confidence import RuleConfidence, score_hypothesis
+from repro.learning.decomposable import DecomposableLearner, learn_auto
+from repro.learning.guidance import SearchGuidance, rule_features
+from repro.learning.ilasp import ILASPLearner, LearnedHypothesis, learn
+from repro.learning.metrics import (
+    accuracy,
+    confusion,
+    learning_curve,
+    precision_recall_f1,
+)
+from repro.learning.mode_bias import (
+    CandidateRule,
+    ModeAtom,
+    ModeBias,
+    Placeholder,
+    constraint_space,
+)
+from repro.learning.tasks import (
+    ASGLearningTask,
+    ContextExample,
+    LASTask,
+    PartialInterpretation,
+)
+
+__all__ = [
+    "ILASPLearner",
+    "LearnedHypothesis",
+    "learn",
+    "DecomposableLearner",
+    "learn_auto",
+    "RuleConfidence",
+    "score_hypothesis",
+    "SearchGuidance",
+    "rule_features",
+    "ModeBias",
+    "ModeAtom",
+    "Placeholder",
+    "CandidateRule",
+    "constraint_space",
+    "ASGLearningTask",
+    "ContextExample",
+    "LASTask",
+    "PartialInterpretation",
+    "accuracy",
+    "confusion",
+    "precision_recall_f1",
+    "learning_curve",
+]

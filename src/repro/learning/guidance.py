@@ -1,0 +1,114 @@
+"""Statistical guidance for the symbolic hypothesis search (Section V.C).
+
+"There is usually a very large hypothesis space to search.  Here is one
+place where statistical machine learning can complement, in a
+supporting role, symbolic learning.  One can learn strategies to best
+search the hypothesis space."
+
+:class:`SearchGuidance` learns, from completed learning episodes, which
+candidate-rule *shapes* tend to appear in solutions (body length,
+negation use, predicates mentioned, annotation positions), then
+re-orders fresh hypothesis spaces so promising candidates are tried
+first.  Ordering never changes *what* is learnable — the learners'
+optimality/verification guarantees stand — it only changes how fast a
+solution is found (candidate order is the tie-break everywhere).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.features import OneHotEncoder
+from repro.baselines.logistic_regression import LogisticRegression
+from repro.learning.mode_bias import CandidateRule
+
+__all__ = ["rule_features", "SearchGuidance"]
+
+
+def rule_features(candidate: CandidateRule) -> Dict[str, object]:
+    """Shape features of a candidate rule (no constants — those are
+    task-specific and would not transfer across episodes)."""
+    rule = candidate.rule
+    body = list(getattr(rule, "body", ()))
+    literals = [e for e in body if hasattr(e, "atom")]
+    predicates = sorted({lit.atom.predicate for lit in literals})
+    annotations = sorted(
+        {
+            lit.atom.annotation[0]
+            for lit in literals
+            if lit.atom.annotation is not None and len(lit.atom.annotation) == 1
+        }
+    )
+    features: Dict[str, object] = {
+        "body_len": len(body),
+        "n_negative": sum(1 for lit in literals if not lit.positive),
+        "is_constraint": getattr(rule, "head", None) is None,
+        "head_pred": getattr(getattr(rule, "head", None), "predicate", ""),
+    }
+    for predicate in predicates:
+        features[f"pred:{predicate}"] = True
+    for annotation in annotations:
+        features[f"ann:{annotation}"] = True
+    return features
+
+
+class SearchGuidance:
+    """Learn to rank hypothesis-space candidates from past episodes."""
+
+    def __init__(self) -> None:
+        self._rows: List[Dict[str, object]] = []
+        self._labels: List[int] = []
+        self._encoder: Optional[OneHotEncoder] = None
+        self._model: Optional[LogisticRegression] = None
+
+    @property
+    def n_examples(self) -> int:
+        return len(self._rows)
+
+    def record_episode(
+        self,
+        space: Sequence[CandidateRule],
+        solution: Sequence[CandidateRule],
+    ) -> None:
+        """Record one completed learning episode."""
+        chosen = {candidate.key() for candidate in solution}
+        for candidate in space:
+            self._rows.append(rule_features(candidate))
+            self._labels.append(1 if candidate.key() in chosen else 0)
+        self._model = None  # stale
+
+    def _fit(self) -> None:
+        if not self._rows or not any(self._labels):
+            raise RuntimeError("no positive episodes recorded yet")
+        self._encoder = OneHotEncoder().fit(self._rows)
+        X = self._encoder.transform(self._rows)
+        y = np.array(self._labels)
+        self._model = LogisticRegression(max_iter=300).fit(X, y)
+
+    def score(self, candidates: Sequence[CandidateRule]) -> np.ndarray:
+        """Predicted usefulness of each candidate (higher = try earlier)."""
+        if self._model is None:
+            self._fit()
+        assert self._encoder is not None and self._model is not None
+        X = self._encoder.transform([rule_features(c) for c in candidates])
+        return self._model.predict_proba(X)
+
+    def order(
+        self, candidates: Sequence[CandidateRule], respect_cost: bool = True
+    ) -> List[CandidateRule]:
+        """Reorder a hypothesis space, best-first.
+
+        With ``respect_cost`` (default) the cost remains the primary key
+        — cost-minimality guarantees are preserved — and the guidance
+        score breaks ties.  Without it, pure score order (useful for the
+        greedy/decomposable paths where cost is re-checked anyway).
+        """
+        scores = self.score(candidates)
+        indexed = list(zip(candidates, scores))
+        if respect_cost:
+            indexed.sort(key=lambda pair: (pair[0].cost, -pair[1]))
+        else:
+            indexed.sort(key=lambda pair: -pair[1])
+        return [candidate for candidate, __ in indexed]

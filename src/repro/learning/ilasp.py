@@ -1,0 +1,240 @@
+"""The inductive learner: optimal subset search over a hypothesis space.
+
+Plays the role ILASP plays in the paper's Figure 1 workflow.  Given a
+task exposing ``positive_holds`` / ``negative_holds`` oracles (either an
+:class:`~repro.learning.tasks.ASGLearningTask` or a
+:class:`~repro.learning.tasks.LASTask`), the learner finds a
+minimal-cost hypothesis ``H ⊆ S_M`` covering the examples.
+
+Search strategy
+---------------
+
+Iterative deepening on total hypothesis cost guarantees the returned
+hypothesis is cost-minimal (as ILASP's are).  Within a budget, a DFS
+over candidate inclusion explores subsets; all oracle calls are memoized
+on ``(hypothesis key, example)``.
+
+When the space is *constraints-only* the learner exploits two
+monotonicity facts (adding a constraint can only shrink the set of
+answer sets / the ASG language):
+
+* a candidate that alone breaks a positive example can never occur in
+  any solution — such candidates are pruned up-front;
+* once a partial hypothesis breaks more positive examples than the
+  violation budget allows, no superset can recover — the branch is cut.
+
+Noise is handled via ``max_violations``: a hypothesis is acceptable if
+the total weight of uncovered examples is at most the budget, mirroring
+ILASP's noisy-example support.  ``learn`` tries violation budgets
+``0..max_violations`` in order, so the returned hypothesis violates as
+few examples as possible, with cost as a tie-break.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.errors import LearningError, UnsatisfiableTaskError
+from repro.learning.mode_bias import CandidateRule
+
+__all__ = ["LearnedHypothesis", "ILASPLearner", "learn"]
+
+
+class LearnedHypothesis:
+    """The result of a learning run: the hypothesis and search statistics."""
+
+    def __init__(
+        self,
+        candidates: List[CandidateRule],
+        cost: int,
+        violations: int,
+        checks: int,
+        elapsed: float,
+    ):
+        self.candidates = candidates
+        self.cost = cost
+        self.violations = violations
+        self.checks = checks
+        self.elapsed = elapsed
+
+    @property
+    def rules(self):
+        """The learned rules as ``(rule, production id)`` pairs."""
+        return [(c.rule, c.prod_id) for c in self.candidates]
+
+    def __repr__(self) -> str:
+        lines = [f"cost={self.cost} violations={self.violations} checks={self.checks}"]
+        lines += [f"  {c!r}" for c in self.candidates]
+        return "\n".join(lines)
+
+
+class ILASPLearner:
+    """Optimal hypothesis search over an explicit hypothesis space."""
+
+    def __init__(
+        self,
+        task,
+        max_cost: int = 12,
+        max_rules: int = 4,
+        max_checks: int = 500_000,
+        max_violations: int = 0,
+    ):
+        self.task = task
+        self.max_cost = max_cost
+        self.max_rules = max_rules
+        self.max_checks = max_checks
+        self.max_violations = max_violations
+        self._memo: Dict[Tuple[FrozenSet[tuple], int, bool], bool] = {}
+        self._checks = 0
+        self._constraints_only = task.constraints_only()
+
+    # -- oracle with memoization ------------------------------------------
+
+    def _key(self, hypothesis: Sequence[CandidateRule]) -> FrozenSet[tuple]:
+        return frozenset(c.key() for c in hypothesis)
+
+    def _positive_ok(self, hypothesis: Sequence[CandidateRule], index: int) -> bool:
+        key = (self._key(hypothesis), index, True)
+        cached = self._memo.get(key)
+        if cached is None:
+            self._bump()
+            cached = self.task.positive_holds(hypothesis, self.task.positive[index])
+            self._memo[key] = cached
+        return cached
+
+    def _negative_ok(self, hypothesis: Sequence[CandidateRule], index: int) -> bool:
+        key = (self._key(hypothesis), index, False)
+        cached = self._memo.get(key)
+        if cached is None:
+            self._bump()
+            cached = self.task.negative_holds(hypothesis, self.task.negative[index])
+            self._memo[key] = cached
+        return cached
+
+    def _bump(self) -> None:
+        self._checks += 1
+        if self._checks > self.max_checks:
+            raise LearningError(
+                f"learning exceeded {self.max_checks} coverage checks; "
+                "shrink the hypothesis space or example set"
+            )
+
+    # -- violation accounting ----------------------------------------------
+
+    def _violation_weight(self, hypothesis: Sequence[CandidateRule]) -> int:
+        total = 0
+        for index, example in enumerate(self.task.positive):
+            if not self._positive_ok(hypothesis, index):
+                total += example.weight
+        for index, example in enumerate(self.task.negative):
+            if not self._negative_ok(hypothesis, index):
+                total += example.weight
+        return total
+
+    def _positive_violation_weight(self, hypothesis: Sequence[CandidateRule]) -> int:
+        return sum(
+            example.weight
+            for index, example in enumerate(self.task.positive)
+            if not self._positive_ok(hypothesis, index)
+        )
+
+    # -- search --------------------------------------------------------------
+
+    def learn(self) -> LearnedHypothesis:
+        """Find a minimal hypothesis; raise :class:`UnsatisfiableTaskError`
+        if none exists within the limits."""
+        start = time.monotonic()
+        space = self._prefiltered_space()
+        for budget in range(0, self.max_violations + 1):
+            found = self._search_with_violations(space, budget)
+            if found is not None:
+                hypothesis, cost = found
+                return LearnedHypothesis(
+                    hypothesis,
+                    cost,
+                    self._violation_weight(hypothesis),
+                    self._checks,
+                    time.monotonic() - start,
+                )
+        raise UnsatisfiableTaskError(
+            f"no hypothesis within cost {self.max_cost}, "
+            f"{self.max_rules} rules, {self.max_violations} violations"
+        )
+
+    def _prefiltered_space(self) -> List[CandidateRule]:
+        space = sorted(self.task.hypothesis_space, key=lambda c: c.cost)
+        if not self._constraints_only or self.max_violations > 0:
+            return space
+        kept = []
+        for candidate in space:
+            if all(
+                self._positive_ok([candidate], i)
+                for i in range(len(self.task.positive))
+            ):
+                kept.append(candidate)
+        return kept
+
+    def _search_with_violations(
+        self, space: List[CandidateRule], violation_budget: int
+    ) -> Optional[Tuple[List[CandidateRule], int]]:
+        for cost_budget in range(0, self.max_cost + 1):
+            result = self._dfs(space, 0, [], 0, cost_budget, violation_budget)
+            if result is not None:
+                return result
+        return None
+
+    def _acceptable(
+        self, hypothesis: List[CandidateRule], violation_budget: int
+    ) -> bool:
+        return self._violation_weight(hypothesis) <= violation_budget
+
+    def _dfs(
+        self,
+        space: List[CandidateRule],
+        index: int,
+        current: List[CandidateRule],
+        cost: int,
+        cost_budget: int,
+        violation_budget: int,
+    ) -> Optional[Tuple[List[CandidateRule], int]]:
+        if self._acceptable(current, violation_budget):
+            return (list(current), cost)
+        if index >= len(space) or len(current) >= self.max_rules:
+            return None
+        candidate = space[index]
+        # include (if it fits the budget)
+        if cost + candidate.cost <= cost_budget:
+            current.append(candidate)
+            prune = (
+                self._constraints_only
+                and self._positive_violation_weight(current) > violation_budget
+            )
+            if not prune:
+                found = self._dfs(
+                    space, index + 1, current, cost + candidate.cost,
+                    cost_budget, violation_budget,
+                )
+                if found is not None:
+                    current.pop()
+                    return found
+            current.pop()
+        # exclude
+        return self._dfs(space, index + 1, current, cost, cost_budget, violation_budget)
+
+
+def learn(
+    task,
+    max_cost: int = 12,
+    max_rules: int = 4,
+    max_checks: int = 500_000,
+    max_violations: int = 0,
+) -> LearnedHypothesis:
+    """Convenience wrapper: build an :class:`ILASPLearner` and run it."""
+    return ILASPLearner(
+        task,
+        max_cost=max_cost,
+        max_rules=max_rules,
+        max_checks=max_checks,
+        max_violations=max_violations,
+    ).learn()

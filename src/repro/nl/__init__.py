@@ -1,0 +1,28 @@
+"""Natural language to grammar-based policies (paper Section III.B).
+
+"Policies are initially defined by end users or organizations in
+natural language ... Automatically or semi-automatically transforming
+intents and constraints into grammars that capture the space of
+admissible policies, would facilitate the interaction of end users with
+the policy-based management system."
+
+This package implements the semi-automatic path: a controlled-English
+intent parser (:mod:`repro.nl.intent`) over a domain vocabulary
+(:mod:`repro.nl.vocabulary`), and a synthesizer that turns parsed
+intents into an initial ASG plus a matching hypothesis space
+(:mod:`repro.nl.grammar_gen`).
+"""
+
+from repro.nl.grammar_gen import GrammarSynthesizer, SynthesizedModel
+from repro.nl.intent import Intent, IntentParseError, parse_intent, parse_intents
+from repro.nl.vocabulary import Vocabulary
+
+__all__ = [
+    "Vocabulary",
+    "Intent",
+    "IntentParseError",
+    "parse_intent",
+    "parse_intents",
+    "GrammarSynthesizer",
+    "SynthesizedModel",
+]

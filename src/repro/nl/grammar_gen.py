@@ -1,0 +1,105 @@
+"""Synthesis: parsed intents -> initial ASG + hypothesis space.
+
+The synthesizer builds exactly what the PBMS hands an AMS (paper
+Section III.A): a grammar over ``allow <subject> <action>`` policy
+strings with attribute annotations; semantic constraints compiled from
+the *forbidding* intents; and a hypothesis space over the same
+vocabulary so the learner can refine the model from examples later.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Sequence
+
+from repro.asp.atoms import Atom, Literal
+from repro.asp.rules import NormalRule
+from repro.asp.terms import Constant
+from repro.asg.annotated import ASG
+from repro.asg.asg_parser import parse_asg
+from repro.learning.mode_bias import CandidateRule, constraint_space
+from repro.nl.intent import Intent
+from repro.nl.vocabulary import Vocabulary
+
+__all__ = ["SynthesizedModel", "GrammarSynthesizer"]
+
+_POLICY_PRODUCTION = 0
+
+
+class SynthesizedModel(NamedTuple):
+    """The synthesizer's output bundle."""
+
+    asg: ASG
+    hypothesis_space: List[CandidateRule]
+    compiled_constraints: List[NormalRule]
+    grammar_text: str
+
+
+class GrammarSynthesizer:
+    """Turn a vocabulary plus intents into a generative policy model."""
+
+    def __init__(self, vocabulary: Vocabulary, max_body: int = 3):
+        self.vocabulary = vocabulary
+        self.max_body = max_body
+
+    # -- grammar text -------------------------------------------------------
+
+    def grammar_text(self) -> str:
+        lines = ["policy -> \"allow\" subject action"]
+        for subject in self.vocabulary.subject_names():
+            lines.append(f'subject -> "{subject}" {{ is({subject}). }}')
+        for action in self.vocabulary.action_names():
+            lines.append(f'action -> "{action}" {{ is({action}). }}')
+        return "\n".join(lines)
+
+    # -- constraints from forbidding intents ------------------------------------
+
+    def compile_intent(self, intent: Intent) -> Optional[NormalRule]:
+        """A forbidding intent becomes an integrity constraint on the
+        policy production; permitting intents compile to nothing (the
+        grammar permits by default) but *scope* the model."""
+        if intent.permitted:
+            return None
+        body: List[Literal] = [
+            Literal(Atom("is", [Constant(intent.subject)], (2,)), True),
+            Literal(Atom("is", [Constant(intent.action)], (3,)), True),
+        ]
+        if intent.condition is not None:
+            body.append(
+                Literal(Atom(intent.condition), not intent.condition_negated)
+            )
+        return NormalRule(None, body)
+
+    # -- hypothesis space ---------------------------------------------------------
+
+    def hypothesis_space(self) -> List[CandidateRule]:
+        pool: List[Literal] = []
+        for subject in self.vocabulary.subject_names():
+            pool.append(Literal(Atom("is", [Constant(subject)], (2,)), True))
+        for action in self.vocabulary.action_names():
+            pool.append(Literal(Atom("is", [Constant(action)], (3,)), True))
+        for condition in self.vocabulary.condition_names():
+            pool.append(Literal(Atom(condition), True))
+            pool.append(Literal(Atom(condition), False))
+        return constraint_space(
+            pool, prod_ids=(_POLICY_PRODUCTION,), max_body=self.max_body
+        )
+
+    # -- the bundle -------------------------------------------------------------
+
+    def synthesize(self, intents: Sequence[Intent]) -> SynthesizedModel:
+        text = self.grammar_text()
+        asg = parse_asg(text)
+        constraints = []
+        for intent in intents:
+            compiled = self.compile_intent(intent)
+            if compiled is not None:
+                constraints.append(compiled)
+        asg = asg.with_rules(
+            [(rule, _POLICY_PRODUCTION) for rule in constraints]
+        )
+        return SynthesizedModel(
+            asg=asg,
+            hypothesis_space=self.hypothesis_space(),
+            compiled_constraints=constraints,
+            grammar_text=text,
+        )

@@ -1,0 +1,140 @@
+"""Controlled-English policy-intent parsing.
+
+Recognized sentence shapes (case-insensitive; punctuation ignored):
+
+* ``allow/permit <subject> to <action> [<condition clause>]``
+* ``<subject> may/can <action> [<condition clause>]``
+* ``deny/forbid/prohibit <subject> from <action> [<condition clause>]``
+* ``<subject> must not/may not/cannot <action> [<condition clause>]``
+
+Condition clauses: ``while/when/during/if <condition>`` (the rule
+applies only under the condition) and ``unless <condition>`` (the rule
+applies only *outside* the condition).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.nl.vocabulary import Vocabulary
+
+__all__ = ["Intent", "IntentParseError", "parse_intent", "parse_intents"]
+
+
+class IntentParseError(ReproError):
+    """Raised when a sentence cannot be interpreted against the vocabulary."""
+
+
+class Intent(NamedTuple):
+    """One parsed policy intent.
+
+    ``permitted`` — whether the intent allows or forbids;
+    ``condition`` — canonical condition name or None;
+    ``condition_negated`` — True for ``unless`` clauses.
+    """
+
+    permitted: bool
+    subject: str
+    action: str
+    condition: Optional[str] = None
+    condition_negated: bool = False
+
+    def describe(self) -> str:
+        verb = "may" if self.permitted else "must not"
+        suffix = ""
+        if self.condition:
+            word = "unless" if self.condition_negated else "while"
+            suffix = f" {word} {self.condition}"
+        return f"{self.subject} {verb} {self.action}{suffix}"
+
+
+_DENY_MARKERS = (
+    "must not",
+    "may not",
+    "cannot",
+    "can not",
+    "shall not",
+    "is not allowed to",
+    "are not allowed to",
+)
+_DENY_LEADS = ("deny", "forbid", "prohibit", "disallow", "never allow")
+_PERMIT_LEADS = ("allow", "permit", "authorize", "let")
+_PERMIT_MARKERS = (" may ", " can ", " is allowed to ", " are allowed to ")
+
+_CONDITION_RE = re.compile(
+    r"\b(while|when|during|whenever|if|unless|in case of)\b(?P<clause>.*)$",
+    re.IGNORECASE,
+)
+
+
+def _normalize(sentence: str) -> str:
+    text = sentence.strip().rstrip(".!").lower()
+    return re.sub(r"\s+", " ", text)
+
+
+def _split_condition(
+    text: str, vocabulary: Vocabulary
+) -> Tuple[str, Optional[str], bool]:
+    match = _CONDITION_RE.search(text)
+    if match is None:
+        return text, None, False
+    clause = match.group("clause")
+    condition = vocabulary.find_condition(clause)
+    if condition is None:
+        raise IntentParseError(
+            f"no known condition in clause {clause.strip()!r}"
+        )
+    negated = match.group(1).lower() == "unless"
+    return text[: match.start()].strip(), condition, negated
+
+
+def parse_intent(sentence: str, vocabulary: Vocabulary) -> Intent:
+    """Parse one sentence into an :class:`Intent` (raises on failure)."""
+    text = _normalize(sentence)
+    if not text:
+        raise IntentParseError("empty sentence")
+    body, condition, negated = _split_condition(text, vocabulary)
+
+    permitted: Optional[bool] = None
+    for marker in _DENY_MARKERS:
+        if marker in body:
+            permitted = False
+            break
+    if permitted is None:
+        for lead in _DENY_LEADS:
+            if body.startswith(lead):
+                permitted = False
+                break
+    if permitted is None:
+        for lead in _PERMIT_LEADS:
+            if body.startswith(lead):
+                permitted = True
+                break
+    if permitted is None:
+        padded = f" {body} "
+        if any(marker in padded for marker in _PERMIT_MARKERS):
+            permitted = True
+    if permitted is None:
+        raise IntentParseError(
+            f"cannot tell whether {sentence.strip()!r} permits or forbids"
+        )
+
+    subject = vocabulary.find_subject(body)
+    if subject is None:
+        raise IntentParseError(f"no known subject in {sentence.strip()!r}")
+    action = vocabulary.find_action(body)
+    if action is None:
+        raise IntentParseError(f"no known action in {sentence.strip()!r}")
+    return Intent(permitted, subject, action, condition, negated)
+
+
+def parse_intents(
+    sentences: Sequence[str], vocabulary: Vocabulary
+) -> List[Intent]:
+    """Parse a batch of sentences; failures carry the sentence context."""
+    intents = []
+    for sentence in sentences:
+        intents.append(parse_intent(sentence, vocabulary))
+    return intents

@@ -1,0 +1,90 @@
+"""Domain vocabulary for the controlled-English intent parser.
+
+A :class:`Vocabulary` names the subjects, actions and contextual
+conditions of a domain and their surface synonyms, so intent parsing is
+a deterministic lookup rather than open-ended NLP — the
+"semi-automatic" point on the paper's spectrum.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["Vocabulary"]
+
+
+class Vocabulary:
+    """Canonical terms plus synonyms for one policy domain.
+
+    Each mapping goes ``canonical -> [synonym phrases]``; the canonical
+    term itself is always recognized.  Phrases are matched longest-first
+    and case-insensitively.
+    """
+
+    def __init__(
+        self,
+        subjects: Mapping[str, Sequence[str]],
+        actions: Mapping[str, Sequence[str]],
+        conditions: Mapping[str, Sequence[str]] = (),
+    ):
+        self.subjects = {k: list(v) for k, v in dict(subjects).items()}
+        self.actions = {k: list(v) for k, v in dict(actions).items()}
+        self.conditions = {k: list(v) for k, v in dict(conditions or {}).items()}
+        self._subject_index = self._build_index(self.subjects)
+        self._action_index = self._build_index(self.actions)
+        self._condition_index = self._build_index(self.conditions)
+
+    @staticmethod
+    def _build_index(mapping: Mapping[str, Sequence[str]]) -> List[Tuple[str, str]]:
+        """(phrase, canonical) pairs, longest phrase first.
+
+        Simple plural variants (``-s``, ``-es``) of each phrase are
+        recognized automatically, so vocabularies only list genuinely
+        irregular synonyms.
+        """
+        index: List[Tuple[str, str]] = []
+        for canonical, synonyms in mapping.items():
+            phrases = {canonical.replace("_", " ")} | {s.lower() for s in synonyms}
+            expanded = set(phrases)
+            for phrase in phrases:
+                expanded.add(phrase + "s")
+                expanded.add(phrase + "es")
+            for phrase in expanded:
+                index.append((phrase.lower(), canonical))
+        index.sort(key=lambda pair: -len(pair[0]))
+        return index
+
+    @staticmethod
+    def _find(index: List[Tuple[str, str]], text: str) -> Optional[Tuple[str, str]]:
+        """Find the longest phrase occurring in ``text`` (word-bounded);
+        return (phrase, canonical) or None."""
+        import re
+
+        lowered = text.lower()
+        for phrase, canonical in index:
+            if re.search(rf"\b{re.escape(phrase)}\b", lowered):
+                return phrase, canonical
+        return None
+
+    def find_subject(self, text: str) -> Optional[str]:
+        found = self._find(self._subject_index, text)
+        return found[1] if found else None
+
+    def find_action(self, text: str) -> Optional[str]:
+        found = self._find(self._action_index, text)
+        return found[1] if found else None
+
+    def find_condition(self, text: str) -> Optional[str]:
+        found = self._find(self._condition_index, text)
+        return found[1] if found else None
+
+    def subject_names(self) -> List[str]:
+        return sorted(self.subjects)
+
+    def action_names(self) -> List[str]:
+        return sorted(self.actions)
+
+    def condition_names(self) -> List[str]:
+        return sorted(self.conditions)

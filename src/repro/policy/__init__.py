@@ -1,0 +1,119 @@
+"""The policy layer: XACML-lite policies, evaluation, quality, explanations.
+
+This package implements the *managed* side of the paper: the policies
+the generative framework produces are evaluated here (PDP semantics),
+quality-checked here (Section V.A's consistency / relevance /
+minimality / completeness), conflict-resolved here, and explained here
+(Section V.B counterfactuals).
+"""
+
+from repro.policy.conflicts import (
+    ContextualResolver,
+    deny_overrides,
+    first_applicable,
+    permit_overrides,
+    priority_based,
+    resolve,
+)
+from repro.policy.evaluation import (
+    applicable_rules,
+    evaluate_policy,
+    evaluate_policy_set,
+    evaluate_rule,
+)
+from repro.policy.enforceability import (
+    AttributeCapability,
+    EnforcementCapability,
+    EnforceabilityReport,
+    assess_enforceability,
+    information_needs,
+)
+from repro.policy.risk import RiskAssessment, RiskModel, assess_risk, constant_harm
+from repro.policy.goals import DeadlineGoal, GoalMonitor, GoalStatus, ThresholdGoal
+from repro.policy.utility import UtilityPolicy
+from repro.policy.xacml_io import (
+    policies_from_xml,
+    policies_to_xml,
+    policy_from_xml,
+    policy_to_xml,
+)
+from repro.policy.explain import (
+    Counterfactual,
+    DecisionExplanation,
+    counterfactuals,
+    explain_decision,
+)
+from repro.policy.model import (
+    AttributeDomain,
+    CategoricalDomain,
+    Decision,
+    DomainSchema,
+    Effect,
+    IntegerDomain,
+    Request,
+)
+from repro.policy.quality import (
+    Conflict,
+    QualityReport,
+    assess,
+    find_conflicts,
+    find_coverage_gaps,
+    find_irrelevant,
+    find_redundant,
+    rules_overlap,
+)
+from repro.policy.xacml import Match, Policy, Target, XacmlRule
+
+__all__ = [
+    "Effect",
+    "Decision",
+    "Request",
+    "AttributeDomain",
+    "CategoricalDomain",
+    "IntegerDomain",
+    "DomainSchema",
+    "Match",
+    "Target",
+    "XacmlRule",
+    "Policy",
+    "evaluate_rule",
+    "evaluate_policy",
+    "evaluate_policy_set",
+    "applicable_rules",
+    "Conflict",
+    "QualityReport",
+    "assess",
+    "find_conflicts",
+    "find_irrelevant",
+    "find_redundant",
+    "find_coverage_gaps",
+    "rules_overlap",
+    "resolve",
+    "deny_overrides",
+    "permit_overrides",
+    "first_applicable",
+    "priority_based",
+    "ContextualResolver",
+    "DecisionExplanation",
+    "Counterfactual",
+    "explain_decision",
+    "counterfactuals",
+    "AttributeCapability",
+    "EnforcementCapability",
+    "EnforceabilityReport",
+    "assess_enforceability",
+    "information_needs",
+    "RiskModel",
+    "RiskAssessment",
+    "assess_risk",
+    "constant_harm",
+    "UtilityPolicy",
+    "ThresholdGoal",
+    "DeadlineGoal",
+    "GoalMonitor",
+    "GoalStatus",
+    "policy_to_xml",
+    "policy_from_xml",
+    "policies_to_xml",
+    "policies_from_xml",
+]

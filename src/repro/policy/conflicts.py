@@ -1,0 +1,128 @@
+"""Conflict resolution strategies (paper Section V.A).
+
+The paper's approach: *static analysis* identifies potential conflicts
+(:func:`repro.policy.quality.find_conflicts`), and at run time a
+*conflict resolution strategy* picks the decision.  Which strategy to
+use may itself be context dependent, so strategies are first-class
+values and a :class:`ContextualResolver` maps contexts to strategies —
+optionally learned from human decisions via the usual learner.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import PolicyError
+from repro.policy.evaluation import applicable_rules
+from repro.policy.model import Decision, Effect, Request
+from repro.policy.xacml import Policy, XacmlRule
+
+__all__ = [
+    "ResolutionStrategy",
+    "deny_overrides",
+    "permit_overrides",
+    "first_applicable",
+    "priority_based",
+    "ContextualResolver",
+    "resolve",
+]
+
+# A strategy maps the applicable (policy, rule, decision) triples to one decision.
+ResolutionStrategy = Callable[
+    [Sequence[Tuple[Policy, XacmlRule, Decision]]], Decision
+]
+
+
+def deny_overrides(hits: Sequence[Tuple[Policy, XacmlRule, Decision]]) -> Decision:
+    """Any deny wins."""
+    if not hits:
+        return Decision.NOT_APPLICABLE
+    if any(decision is Decision.DENY for __, __, decision in hits):
+        return Decision.DENY
+    return Decision.PERMIT
+
+
+def permit_overrides(hits: Sequence[Tuple[Policy, XacmlRule, Decision]]) -> Decision:
+    """Any permit wins."""
+    if not hits:
+        return Decision.NOT_APPLICABLE
+    if any(decision is Decision.PERMIT for __, __, decision in hits):
+        return Decision.PERMIT
+    return Decision.DENY
+
+
+def first_applicable(hits: Sequence[Tuple[Policy, XacmlRule, Decision]]) -> Decision:
+    """The first applicable rule (policy order, then rule order) wins."""
+    if not hits:
+        return Decision.NOT_APPLICABLE
+    return hits[0][2]
+
+
+def priority_based(
+    priorities: Dict[str, int],
+) -> ResolutionStrategy:
+    """Build a strategy where the highest-priority policy wins
+    (``priorities`` maps policy id to an integer, larger wins; ties fall
+    back to deny-overrides among the top-priority hits)."""
+
+    def strategy(hits: Sequence[Tuple[Policy, XacmlRule, Decision]]) -> Decision:
+        if not hits:
+            return Decision.NOT_APPLICABLE
+        best = max(priorities.get(policy.policy_id, 0) for policy, __, __ in hits)
+        top = [
+            hit for hit in hits if priorities.get(hit[0].policy_id, 0) == best
+        ]
+        return deny_overrides(top)
+
+    return strategy
+
+
+_NAMED: Dict[str, ResolutionStrategy] = {
+    "deny-overrides": deny_overrides,
+    "permit-overrides": permit_overrides,
+    "first-applicable": first_applicable,
+}
+
+
+class ContextualResolver:
+    """Pick a resolution strategy from the current context.
+
+    ``rules`` is an ordered list of ``(predicate, strategy)`` pairs where
+    ``predicate`` is a callable on a context dict; the first matching
+    entry wins, with a default strategy as a fallback.  This mirrors the
+    paper's suggestion to "specify additional policies that indicate
+    which conflict resolution strategy to adopt based on the context".
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[Tuple[Callable[[Dict], bool], ResolutionStrategy]] = (),
+        default: ResolutionStrategy = deny_overrides,
+    ):
+        self.rules = list(rules)
+        self.default = default
+
+    def strategy_for(self, context: Dict) -> ResolutionStrategy:
+        for predicate, strategy in self.rules:
+            if predicate(context):
+                return strategy
+        return self.default
+
+
+def resolve(
+    policies: Sequence[Policy],
+    request: Request,
+    strategy: ResolutionStrategy = deny_overrides,
+) -> Decision:
+    """Evaluate ``request`` against all policies, resolving conflicts
+    with ``strategy`` (a callable or a named algorithm)."""
+    if isinstance(strategy, str):
+        named = _NAMED.get(strategy)
+        if named is None:
+            raise PolicyError(f"unknown strategy {strategy!r}")
+        strategy = named
+    hits: List[Tuple[Policy, XacmlRule, Decision]] = []
+    for policy in policies:
+        for rule, decision in applicable_rules(policy, request):
+            hits.append((policy, rule, decision))
+    return strategy(hits)

@@ -1,0 +1,123 @@
+"""Enforceability assessment (paper Section V.A, extension requirement).
+
+"Enforceability requires that a policy can actually be enforced by a
+managed party in a certain context.  For example, a policy may require
+contextual information be acquired in real time — which may be
+challenging in certain contexts — and it is crucial to provide
+indicators about the feasibility of the policy enforcement."
+
+A policy's *information needs* are the attributes its matches test; an
+:class:`EnforcementCapability` describes which attributes a managed
+party can obtain, at what freshness and reliability.  The assessor
+reports, per policy, whether it is enforceable and a feasibility score.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, NamedTuple, Optional, Sequence, Tuple
+
+from repro.policy.xacml import Policy
+
+__all__ = [
+    "AttributeCapability",
+    "EnforcementCapability",
+    "EnforceabilityReport",
+    "information_needs",
+    "assess_enforceability",
+]
+
+
+class AttributeCapability(NamedTuple):
+    """What a managed party can find out about one attribute.
+
+    * ``available`` — the attribute can be obtained at all;
+    * ``realtime`` — it can be obtained at decision time (vs only from
+      stale caches or pre-mission intelligence);
+    * ``reliability`` — probability the obtained value is correct.
+    """
+
+    available: bool = True
+    realtime: bool = True
+    reliability: float = 1.0
+
+
+class EnforcementCapability:
+    """The capability profile of one managed party in one context."""
+
+    def __init__(
+        self,
+        capabilities: Mapping[Tuple[str, str], AttributeCapability],
+        default: Optional[AttributeCapability] = None,
+    ):
+        self.capabilities = dict(capabilities)
+        self.default = default if default is not None else AttributeCapability(
+            available=False, realtime=False, reliability=0.0
+        )
+
+    def capability(self, category: str, attribute: str) -> AttributeCapability:
+        return self.capabilities.get((category, attribute), self.default)
+
+
+def information_needs(policy: Policy) -> List[Tuple[str, str]]:
+    """All (category, attribute) pairs the policy tests."""
+    needs = set()
+    for match in policy.target.matches:
+        needs.add((match.category, match.attribute))
+    for rule in policy.rules:
+        for match in rule.all_matches():
+            needs.add((match.category, match.attribute))
+    return sorted(needs)
+
+
+class EnforceabilityReport:
+    """Per-policy enforceability verdicts."""
+
+    def __init__(self, entries: Dict[str, Tuple[bool, float, List[Tuple[str, str]]]]):
+        self.entries = entries
+
+    def enforceable(self, policy_id: str) -> bool:
+        return self.entries[policy_id][0]
+
+    def feasibility(self, policy_id: str) -> float:
+        return self.entries[policy_id][1]
+
+    def missing(self, policy_id: str) -> List[Tuple[str, str]]:
+        return self.entries[policy_id][2]
+
+    def unenforceable_policies(self) -> List[str]:
+        return sorted(
+            pid for pid, (ok, __f, __m) in self.entries.items() if not ok
+        )
+
+    def __repr__(self) -> str:
+        lines = ["EnforceabilityReport:"]
+        for pid, (ok, feasibility, missing) in sorted(self.entries.items()):
+            verdict = "ok" if ok else f"MISSING {missing}"
+            lines.append(f"  {pid}: feasibility={feasibility:.2f} {verdict}")
+        return "\n".join(lines)
+
+
+def assess_enforceability(
+    policies: Sequence[Policy],
+    capability: EnforcementCapability,
+    require_realtime: bool = True,
+) -> EnforceabilityReport:
+    """Check every policy's information needs against a capability profile.
+
+    A policy is enforceable iff every attribute it tests is available
+    (and obtainable in real time when ``require_realtime``).  Its
+    feasibility score is the product of the reliabilities of the
+    attributes it needs (1.0 for an unconditional policy).
+    """
+    entries: Dict[str, Tuple[bool, float, List[Tuple[str, str]]]] = {}
+    for policy in policies:
+        needs = information_needs(policy)
+        missing: List[Tuple[str, str]] = []
+        feasibility = 1.0
+        for need in needs:
+            cap = capability.capability(*need)
+            if not cap.available or (require_realtime and not cap.realtime):
+                missing.append(need)
+            feasibility *= cap.reliability
+        entries[policy.policy_id] = (not missing, feasibility, missing)
+    return EnforceabilityReport(entries)

@@ -1,0 +1,98 @@
+"""Policy evaluation: the PDP's decision function.
+
+Implements the three standard XACML combining algorithms over rules and
+over policy sets.  Indeterminate match results (missing attributes)
+propagate as :data:`Decision.INDETERMINATE` following the simplified
+(non-extended) XACML semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.policy.model import Decision, Effect, Request
+from repro.policy.xacml import Policy, XacmlRule
+
+__all__ = [
+    "evaluate_rule",
+    "evaluate_policy",
+    "evaluate_policy_set",
+    "applicable_rules",
+]
+
+
+def evaluate_rule(rule: XacmlRule, request: Request) -> Decision:
+    """Decision of a single rule on a request."""
+    applies = rule.applies(request)
+    if applies is True:
+        return Decision.from_effect(rule.effect)
+    if applies is None:
+        return Decision.INDETERMINATE
+    return Decision.NOT_APPLICABLE
+
+
+def _combine(decisions: Iterable[Decision], algorithm: str) -> Decision:
+    result = Decision.NOT_APPLICABLE
+    for decision in decisions:
+        if algorithm == "first-applicable":
+            if decision is not Decision.NOT_APPLICABLE:
+                return decision
+        elif algorithm == "deny-overrides":
+            if decision is Decision.DENY:
+                return Decision.DENY
+            if decision is Decision.INDETERMINATE:
+                result = Decision.INDETERMINATE
+            elif decision is Decision.PERMIT and result is not Decision.INDETERMINATE:
+                result = Decision.PERMIT
+        elif algorithm == "permit-overrides":
+            if decision is Decision.PERMIT:
+                return Decision.PERMIT
+            if decision is Decision.INDETERMINATE:
+                result = Decision.INDETERMINATE
+            elif decision is Decision.DENY and result is not Decision.INDETERMINATE:
+                result = Decision.DENY
+    return result
+
+
+def evaluate_policy(policy: Policy, request: Request) -> Decision:
+    """Decision of a policy on a request (target gate + rule combination)."""
+    gate = policy.target.applies(request)
+    if gate is False:
+        return Decision.NOT_APPLICABLE
+    if gate is None:
+        return Decision.INDETERMINATE
+    return _combine(
+        (evaluate_rule(rule, request) for rule in policy.rules), policy.combining
+    )
+
+
+def evaluate_policy_set(
+    policies: Sequence[Policy],
+    request: Request,
+    combining: str = "deny-overrides",
+) -> Decision:
+    """Decision of an ordered policy set under a top-level combining algorithm."""
+    if combining not in Policy.COMBINING_ALGORITHMS:
+        raise ValueError(f"unknown combining algorithm {combining!r}")
+    return _combine(
+        (evaluate_policy(policy, request) for policy in policies), combining
+    )
+
+
+def applicable_rules(
+    policy: Policy, request: Request
+) -> List[Tuple[XacmlRule, Decision]]:
+    """The rules of ``policy`` that produced a decision for ``request``.
+
+    This is the raw material for enforcement-time explanations
+    (paper Section V.B: "clarify which rules within a policy were the
+    ones that were applied to the request").
+    """
+    if policy.target.applies(request) is not True:
+        return []
+    out = []
+    for rule in policy.rules:
+        decision = evaluate_rule(rule, request)
+        if decision in (Decision.PERMIT, Decision.DENY):
+            out.append((rule, decision))
+    return out

@@ -1,0 +1,124 @@
+"""Risk assessment for policies (paper Section V.A, extension requirement).
+
+"The risk related requirement focuses on possible risks that may
+result from the application of a policy ... a restrictive access
+control policy may prevent the delivery of relevant information needed
+by a party, thus affecting the outcomes of activities."
+
+Two risk directions, both computed against a request workload:
+
+* **permissiveness risk** — the probability mass of requests a policy
+  set *permits* weighted by the harm of wrongly permitting them;
+* **restrictiveness risk** — the probability mass it *denies* weighted
+  by the cost of wrongly denying them (the paper's example).
+
+Harm/cost models are pluggable callables on requests, so "different
+risk models for different contexts and coalition missions" are plain
+values that can be swapped per context.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.policy.evaluation import evaluate_policy_set
+from repro.policy.model import Decision, Request
+from repro.policy.xacml import Policy
+
+__all__ = ["RiskModel", "RiskAssessment", "assess_risk", "constant_harm"]
+
+HarmModel = Callable[[Request], float]
+
+
+def constant_harm(value: float) -> HarmModel:
+    """A harm model assigning the same weight to every request."""
+
+    def model(request: Request) -> float:
+        return value
+
+    return model
+
+
+class RiskModel:
+    """A context's risk model: harm of wrong permits / cost of wrong denies.
+
+    ``permit_harm(request)`` is the damage if permitting ``request`` is
+    the wrong call; ``deny_cost(request)`` the loss if denying it is.
+    """
+
+    def __init__(
+        self,
+        permit_harm: HarmModel,
+        deny_cost: HarmModel,
+        name: str = "",
+    ):
+        self.permit_harm = permit_harm
+        self.deny_cost = deny_cost
+        self.name = name
+
+
+class RiskAssessment:
+    """The risk profile of a policy set over a workload."""
+
+    def __init__(
+        self,
+        permissiveness_risk: float,
+        restrictiveness_risk: float,
+        permitted: int,
+        denied: int,
+        undecided: int,
+    ):
+        self.permissiveness_risk = permissiveness_risk
+        self.restrictiveness_risk = restrictiveness_risk
+        self.permitted = permitted
+        self.denied = denied
+        self.undecided = undecided
+
+    @property
+    def total(self) -> float:
+        return self.permissiveness_risk + self.restrictiveness_risk
+
+    def __repr__(self) -> str:
+        return (
+            f"RiskAssessment(permissive={self.permissiveness_risk:.3f}, "
+            f"restrictive={self.restrictiveness_risk:.3f}, "
+            f"permitted={self.permitted}, denied={self.denied}, "
+            f"undecided={self.undecided})"
+        )
+
+
+def assess_risk(
+    policies: Sequence[Policy],
+    workload: Sequence[Request],
+    model: RiskModel,
+    combining: str = "deny-overrides",
+    error_rate: float = 0.1,
+) -> RiskAssessment:
+    """Score a policy set under a risk model.
+
+    ``error_rate`` is the assumed probability that any individual
+    decision is wrong (learned policies are never perfect); risk is the
+    expected harm of those errors over the workload:
+
+    * each permitted request contributes ``error_rate * permit_harm``;
+    * each denied request contributes ``error_rate * deny_cost``;
+    * undecided requests (gaps) contribute the *larger* of the two —
+      the operator must guess.
+    """
+    permissive = 0.0
+    restrictive = 0.0
+    permitted = denied = undecided = 0
+    for request in workload:
+        decision = evaluate_policy_set(policies, request, combining)
+        if decision is Decision.PERMIT:
+            permitted += 1
+            permissive += error_rate * model.permit_harm(request)
+        elif decision is Decision.DENY:
+            denied += 1
+            restrictive += error_rate * model.deny_cost(request)
+        else:
+            undecided += 1
+            worst = max(model.permit_harm(request), model.deny_cost(request))
+            permissive += error_rate * worst / 2
+            restrictive += error_rate * worst / 2
+    return RiskAssessment(permissive, restrictive, permitted, denied, undecided)

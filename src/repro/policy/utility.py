@@ -1,0 +1,107 @@
+"""Utility-based policies (paper Section I's third policy type).
+
+"Utility-based policies ... direct the managed parties to produce the
+best consequence according to some value function, such as for example
+maximizing the usage of certain resources."
+
+A :class:`UtilityPolicy` is an ASP program with weak constraints: the
+*options* are a one-of choice, the *value function* is the set of weak
+constraints, and context facts modulate both.  ``choose`` returns the
+cost-optimal option(s) for a context — the utility-based counterpart of
+the constraint policies the rest of the framework generates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.asp.atoms import Atom
+from repro.asp.parser import parse_program
+from repro.asp.rules import ChoiceRule, Program, fact
+from repro.asp.solver import CostVector, solve_optimal
+from repro.asp.terms import Constant
+from repro.core.contexts import Context
+from repro.errors import PolicyError
+
+__all__ = ["UtilityPolicy"]
+
+
+class UtilityPolicy:
+    """A choose-one-option policy ranked by weak constraints.
+
+    ``options`` are the symbolic choices (``chosen(<option>)`` atoms are
+    generated); ``value_rules`` is ASP text containing the utility model
+    — weak constraints plus any helper rules — which may reference
+    ``chosen/1`` and any context facts.
+
+    Example::
+
+        policy = UtilityPolicy(
+            options=["main", "river", "narrow"],
+            value_rules='''
+                risk(main, 3). risk(river, 1). risk(narrow, 2).
+                risk_override(river, 9) :- storm.
+                overridden(R) :- risk_override(R, X).
+                effective(R, W) :- risk_override(R, W).
+                effective(R, W) :- risk(R, W), not overridden(R).
+                :~ chosen(R), effective(R, W). [W]
+            ''',
+        )
+        policy.choose(Context.from_text("storm."))   # -> ["narrow"]
+    """
+
+    def __init__(
+        self,
+        options: Sequence[str],
+        value_rules: str,
+        choice_predicate: str = "chosen",
+    ):
+        if not options:
+            raise PolicyError("a utility policy needs at least one option")
+        self.options = list(options)
+        self.choice_predicate = choice_predicate
+        self.value_program = parse_program(value_rules)
+
+    def _program(self, context: Optional[Context]) -> Program:
+        program = Program()
+        atoms = [
+            Atom(self.choice_predicate, [Constant(option)])
+            for option in self.options
+        ]
+        program.add(ChoiceRule(atoms, lower=1, upper=1))
+        program.extend(self.value_program)
+        if context is not None:
+            program.extend(context.program)
+        return program
+
+    def choose(self, context: Optional[Context] = None) -> List[str]:
+        """The optimal option(s) under ``context`` (ties all returned)."""
+        models, __ = solve_optimal(self._program(context))
+        if not models:
+            raise PolicyError(
+                "utility policy is unsatisfiable under this context"
+            )
+        chosen: List[str] = []
+        for model in models:
+            for atom in model:
+                if atom.predicate == self.choice_predicate and len(atom.args) == 1:
+                    name = repr(atom.args[0])
+                    if name not in chosen:
+                        chosen.append(name)
+        return sorted(chosen)
+
+    def rank(self, context: Optional[Context] = None) -> List[Tuple[str, CostVector]]:
+        """Every option with its cost vector, best first.
+
+        Implemented by pinning each option in turn — useful for
+        explaining *why* the chosen option won.
+        """
+        ranked: List[Tuple[str, CostVector]] = []
+        for option in self.options:
+            program = self._program(context)
+            program.add(fact(Atom(self.choice_predicate, [Constant(option)])))
+            models, cost = solve_optimal(program)
+            if models:
+                ranked.append((option, cost))
+        ranked.sort(key=lambda pair: pair[1])
+        return ranked

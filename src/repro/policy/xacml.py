@@ -1,0 +1,205 @@
+"""XACML-lite: attribute-based policies with targets, rules and effects.
+
+A faithful-but-small model of the XACML structures the paper's case
+study (Section IV.C) learns: a :class:`Policy` holds a target and a list
+of effect rules, each with its own target/condition; combining
+algorithms are in :mod:`repro.policy.evaluation`.
+
+Matches support equality and integer comparisons, which covers the
+policies of the paper's Figure 3 (e.g. conditions on ``subject age``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import PolicyValidationError
+from repro.policy.model import (
+    AttributeDomain,
+    AttributeValue,
+    Effect,
+    Request,
+)
+
+__all__ = ["Match", "Target", "XacmlRule", "Policy"]
+
+_OPS = {
+    "eq": lambda a, b: a == b,
+    "neq": lambda a, b: a != b,
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+    "in": lambda a, b: a in b,
+}
+
+
+class Match:
+    """One attribute test: ``category.attribute op value``."""
+
+    __slots__ = ("category", "attribute", "op", "value")
+
+    def __init__(self, category: str, attribute: str, op: str, value):
+        if op not in _OPS:
+            raise PolicyValidationError(f"unknown match operator {op!r}")
+        if op == "in":
+            value = tuple(value)
+        self.category = category
+        self.attribute = attribute
+        self.op = op
+        self.value = value
+
+    def applies(self, request: Request) -> Optional[bool]:
+        """True/False if decidable; None if the attribute is absent
+        (XACML's *indeterminate* source)."""
+        actual = request.get(self.category, self.attribute)
+        if actual is None:
+            return None
+        try:
+            return _OPS[self.op](actual, self.value)
+        except TypeError:
+            return None
+
+    def allowed_values(self, domain: AttributeDomain) -> Tuple[AttributeValue, ...]:
+        """The subset of ``domain`` satisfying this match (for overlap
+        analysis in :mod:`repro.policy.quality`)."""
+        return tuple(v for v in domain.values() if _OPS[self.op](v, self.value))
+
+    def __repr__(self) -> str:
+        return f"{self.category}.{self.attribute} {self.op} {self.value!r}"
+
+    def key(self) -> tuple:
+        return (self.category, self.attribute, self.op, self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Match) and self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+
+class Target:
+    """A conjunction of matches; the empty target matches every request."""
+
+    __slots__ = ("matches",)
+
+    def __init__(self, matches: Iterable[Match] = ()):
+        self.matches: Tuple[Match, ...] = tuple(matches)
+
+    def applies(self, request: Request) -> Optional[bool]:
+        indeterminate = False
+        for match in self.matches:
+            result = match.applies(request)
+            if result is False:
+                return False
+            if result is None:
+                indeterminate = True
+        return None if indeterminate else True
+
+    def constrained(self) -> Dict[Tuple[str, str], List[Match]]:
+        out: Dict[Tuple[str, str], List[Match]] = {}
+        for match in self.matches:
+            out.setdefault((match.category, match.attribute), []).append(match)
+        return out
+
+    def __repr__(self) -> str:
+        if not self.matches:
+            return "<any>"
+        return " AND ".join(repr(m) for m in self.matches)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Target) and set(self.matches) == set(other.matches)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.matches))
+
+
+class XacmlRule:
+    """An effect rule: target + optional extra condition."""
+
+    __slots__ = ("rule_id", "effect", "target", "condition")
+
+    def __init__(
+        self,
+        rule_id: str,
+        effect: Effect,
+        target: Optional[Target] = None,
+        condition: Optional[Target] = None,
+    ):
+        self.rule_id = rule_id
+        self.effect = effect
+        self.target = target if target is not None else Target()
+        self.condition = condition if condition is not None else Target()
+
+    def applies(self, request: Request) -> Optional[bool]:
+        target_result = self.target.applies(request)
+        if target_result is not True:
+            return target_result
+        return self.condition.applies(request)
+
+    def all_matches(self) -> Tuple[Match, ...]:
+        return self.target.matches + self.condition.matches
+
+    def __repr__(self) -> str:
+        cond = f" IF {self.condition!r}" if self.condition.matches else ""
+        return f"[{self.rule_id}] {self.effect.value.upper()} WHEN {self.target!r}{cond}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, XacmlRule)
+            and self.effect == other.effect
+            and self.target == other.target
+            and self.condition == other.condition
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.effect, self.target, self.condition))
+
+
+class Policy:
+    """A policy: a target guarding a list of rules plus a combining algorithm.
+
+    ``combining`` is one of ``deny-overrides``, ``permit-overrides``,
+    ``first-applicable`` (see :mod:`repro.policy.evaluation`).
+    """
+
+    COMBINING_ALGORITHMS = ("deny-overrides", "permit-overrides", "first-applicable")
+
+    def __init__(
+        self,
+        policy_id: str,
+        rules: Sequence[XacmlRule],
+        target: Optional[Target] = None,
+        combining: str = "deny-overrides",
+    ):
+        if combining not in self.COMBINING_ALGORITHMS:
+            raise PolicyValidationError(f"unknown combining algorithm {combining!r}")
+        if not rules:
+            raise PolicyValidationError(f"policy {policy_id!r} has no rules")
+        seen = set()
+        for rule in rules:
+            if rule.rule_id in seen:
+                raise PolicyValidationError(
+                    f"duplicate rule id {rule.rule_id!r} in policy {policy_id!r}"
+                )
+            seen.add(rule.rule_id)
+        self.policy_id = policy_id
+        self.rules: Tuple[XacmlRule, ...] = tuple(rules)
+        self.target = target if target is not None else Target()
+        self.combining = combining
+
+    def __repr__(self) -> str:
+        lines = [f"Policy {self.policy_id} ({self.combining}) WHEN {self.target!r}:"]
+        lines += [f"  {rule!r}" for rule in self.rules]
+        return "\n".join(lines)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Policy)
+            and self.rules == other.rules
+            and self.target == other.target
+            and self.combining == other.combining
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.rules, self.target, self.combining))

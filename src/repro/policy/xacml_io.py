@@ -1,0 +1,175 @@
+"""XACML-style XML serialization of policies.
+
+The paper's Figure 3 shows learned policies in XACML's textual form;
+this module renders our XACML-lite model to a compact XACML-flavoured
+XML dialect and parses it back, enabling interchange with the external
+policy repositories of Figure 2 (shared policies arrive as text, not
+Python objects).
+
+The dialect, deliberately small but structurally faithful:
+
+.. code-block:: xml
+
+    <Policy PolicyId="p1" RuleCombiningAlgId="deny-overrides">
+      <Target>
+        <Match Category="subject" AttributeId="role" Op="eq">dba</Match>
+      </Target>
+      <Rule RuleId="r1" Effect="Permit">
+        <Target>
+          <Match Category="action" AttributeId="id" Op="eq">write</Match>
+        </Target>
+        <Condition>
+          <Match Category="subject" AttributeId="age" Op="ge">30</Match>
+        </Condition>
+      </Rule>
+    </Policy>
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import List, Optional, Sequence
+
+from repro.errors import PolicyValidationError
+from repro.policy.model import Effect
+from repro.policy.xacml import Match, Policy, Target, XacmlRule
+
+__all__ = ["policy_to_xml", "policy_from_xml", "policies_to_xml", "policies_from_xml"]
+
+
+def _value_to_text(value) -> str:
+    if isinstance(value, tuple):
+        return "|".join(str(v) for v in value)
+    return str(value)
+
+
+def _text_to_value(text: str, op: str):
+    if op == "in":
+        return tuple(_scalar(part) for part in text.split("|"))
+    return _scalar(text)
+
+
+def _scalar(text: str):
+    try:
+        return int(text)
+    except ValueError:
+        return text
+
+
+def _match_element(match: Match) -> ET.Element:
+    element = ET.Element(
+        "Match",
+        Category=match.category,
+        AttributeId=match.attribute,
+        Op=match.op,
+    )
+    element.text = _value_to_text(match.value)
+    return element
+
+
+def _target_element(target: Target, tag: str = "Target") -> Optional[ET.Element]:
+    if not target.matches:
+        return None
+    element = ET.Element(tag)
+    for match in target.matches:
+        element.append(_match_element(match))
+    return element
+
+
+def policy_to_xml(policy: Policy) -> str:
+    """Render one policy to its XML text."""
+    root = ET.Element(
+        "Policy",
+        PolicyId=policy.policy_id,
+        RuleCombiningAlgId=policy.combining,
+    )
+    target = _target_element(policy.target)
+    if target is not None:
+        root.append(target)
+    for rule in policy.rules:
+        rule_el = ET.SubElement(
+            root,
+            "Rule",
+            RuleId=rule.rule_id,
+            Effect="Permit" if rule.effect is Effect.PERMIT else "Deny",
+        )
+        rule_target = _target_element(rule.target)
+        if rule_target is not None:
+            rule_el.append(rule_target)
+        condition = _target_element(rule.condition, tag="Condition")
+        if condition is not None:
+            rule_el.append(condition)
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def _parse_match(element: ET.Element) -> Match:
+    try:
+        op = element.attrib["Op"]
+        return Match(
+            element.attrib["Category"],
+            element.attrib["AttributeId"],
+            op,
+            _text_to_value(element.text or "", op),
+        )
+    except KeyError as missing:
+        raise PolicyValidationError(f"Match missing attribute {missing}") from None
+
+
+def _parse_target(parent: ET.Element, tag: str = "Target") -> Target:
+    element = parent.find(tag)
+    if element is None:
+        return Target()
+    return Target([_parse_match(m) for m in element.findall("Match")])
+
+
+def policy_from_xml(text: str) -> Policy:
+    """Parse one policy from its XML text."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as error:
+        raise PolicyValidationError(f"malformed policy XML: {error}") from None
+    if root.tag != "Policy":
+        raise PolicyValidationError(f"expected <Policy>, found <{root.tag}>")
+    rules: List[XacmlRule] = []
+    for rule_el in root.findall("Rule"):
+        effect_text = rule_el.attrib.get("Effect", "")
+        if effect_text not in ("Permit", "Deny"):
+            raise PolicyValidationError(f"bad rule effect {effect_text!r}")
+        rules.append(
+            XacmlRule(
+                rule_el.attrib.get("RuleId", f"r{len(rules)}"),
+                Effect.PERMIT if effect_text == "Permit" else Effect.DENY,
+                _parse_target(rule_el),
+                _parse_target(rule_el, "Condition"),
+            )
+        )
+    return Policy(
+        root.attrib.get("PolicyId", "imported"),
+        rules,
+        _parse_target(root),
+        root.attrib.get("RuleCombiningAlgId", "deny-overrides"),
+    )
+
+
+def policies_to_xml(policies: Sequence[Policy]) -> str:
+    """Render a policy set inside a ``<PolicySet>`` wrapper."""
+    root = ET.Element("PolicySet")
+    for policy in policies:
+        root.append(ET.fromstring(policy_to_xml(policy)))
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def policies_from_xml(text: str) -> List[Policy]:
+    """Parse a ``<PolicySet>`` document."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as error:
+        raise PolicyValidationError(f"malformed policy-set XML: {error}") from None
+    if root.tag != "PolicySet":
+        raise PolicyValidationError(f"expected <PolicySet>, found <{root.tag}>")
+    return [
+        policy_from_xml(ET.tostring(el, encoding="unicode"))
+        for el in root.findall("Policy")
+    ]

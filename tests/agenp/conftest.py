@@ -1,0 +1,56 @@
+"""Shared fixtures for AGENP tests: a small access-control AMS."""
+
+import pytest
+
+from repro.agenp import AutonomousManagedSystem, FieldInterpreter, PolicySpecification
+from repro.asp.atoms import Atom, Literal
+from repro.asp.terms import Constant
+from repro.core import Context
+from repro.learning import constraint_space
+from repro.policy import CategoricalDomain, DomainSchema
+
+GRAMMAR = """
+policy -> "allow" subject action
+subject -> "alice" { is(alice). }
+subject -> "bob"   { is(bob). }
+action  -> "read"  { is(read). }
+action  -> "write" { is(write). }
+"""
+
+
+def hypothesis_space():
+    pool = [Literal(Atom("is", [Constant(n)], (2,)), True) for n in ("alice", "bob")]
+    pool += [Literal(Atom("is", [Constant(n)], (3,)), True) for n in ("read", "write")]
+    pool += [Literal(Atom("emergency"), s) for s in (True, False)]
+    return constraint_space(pool, prod_ids=(0,), max_body=3)
+
+
+@pytest.fixture
+def specification():
+    return PolicySpecification(
+        GRAMMAR,
+        goals=["no damaging writes"],
+        hypothesis_space=hypothesis_space(),
+    )
+
+
+@pytest.fixture
+def interpreter():
+    return FieldInterpreter({1: ("subject", "id"), 2: ("action", "id")})
+
+
+@pytest.fixture
+def schema():
+    return DomainSchema(
+        {
+            ("subject", "id"): CategoricalDomain(["alice", "bob"]),
+            ("action", "id"): CategoricalDomain(["read", "write"]),
+        }
+    )
+
+
+@pytest.fixture
+def ams(specification, interpreter, schema):
+    system = AutonomousManagedSystem("ams1", specification, interpreter, schema)
+    system.bootstrap(Context.from_attributes({}, name="normal"))
+    return system

@@ -1,0 +1,125 @@
+"""Tests for the multi-party coalition layer (Section III.B)."""
+
+import pytest
+
+from repro.agenp import AutonomousManagedSystem
+from repro.agenp.coalition import Coalition, CoalitionNetwork, CoalitionParty
+from repro.core import Context, LabeledExample
+from repro.errors import AgenpError
+
+
+@pytest.fixture
+def make_ams(specification, interpreter, schema):
+    def factory(name):
+        ams = AutonomousManagedSystem(name, specification, interpreter, schema)
+        ams.bootstrap(Context.from_attributes({}, name="normal"))
+        return ams
+
+    return factory
+
+
+class TestNetwork:
+    def test_send_and_drain(self):
+        net = CoalitionNetwork()
+        net.register("a")
+        net.register("b")
+        assert net.send("a", "b", "share", {"x": 1})
+        messages = net.drain("b")
+        assert len(messages) == 1
+        assert messages[0].sender == "a"
+        assert net.drain("b") == []
+
+    def test_unknown_recipient_rejected(self):
+        net = CoalitionNetwork()
+        net.register("a")
+        with pytest.raises(AgenpError):
+            net.send("a", "ghost", "share", {})
+
+    def test_broadcast_excludes_sender(self):
+        net = CoalitionNetwork()
+        for name in ("a", "b", "c"):
+            net.register(name)
+        assert net.broadcast("a", "share", {}) == 2
+        assert net.drain("a") == []
+
+    def test_lossy_fabric_drops_messages(self):
+        net = CoalitionNetwork(loss_rate=0.5, seed=1)
+        net.register("a")
+        net.register("b")
+        delivered = sum(net.send("a", "b", "share", {}) for __ in range(200))
+        assert 60 <= delivered <= 140
+        assert net.dropped == 200 - delivered
+
+    def test_invalid_loss_rate(self):
+        with pytest.raises(AgenpError):
+            CoalitionNetwork(loss_rate=1.0)
+
+
+class TestSharingProtocol:
+    def test_policies_propagate(self, make_ams):
+        net = CoalitionNetwork()
+        alpha = CoalitionParty(make_ams("alpha"), net)
+        bravo = CoalitionParty(make_ams("bravo"), net)
+        coalition = Coalition([alpha, bravo])
+        results = coalition.round()
+        # both bootstrapped the same grammar: everything shared validates
+        assert results["bravo"][0] > 0
+        assert any(p.source == "shared:alpha" for p in bravo.adopted)
+
+    def test_invalid_shared_policies_rejected(self, make_ams):
+        net = CoalitionNetwork()
+        alpha = CoalitionParty(make_ams("alpha"), net)
+        bravo_ams = make_ams("bravo")
+        # bravo has learned that alice must not write
+        bravo_ams.add_example(
+            LabeledExample(("allow", "alice", "write"), valid=False)
+        )
+        bravo_ams.padap.adapt()
+        bravo_ams.refresh_policies()
+        bravo = CoalitionParty(bravo_ams, net)
+        coalition = Coalition([alpha, bravo])
+        results = coalition.round()
+        adopted, rejected = results["bravo"]
+        assert rejected >= 1  # alpha's alice-write policy fails bravo's PCP
+
+    def test_trust_reflects_usefulness(self, make_ams):
+        net = CoalitionNetwork()
+        alpha = CoalitionParty(make_ams("alpha"), net)
+        bravo_ams = make_ams("bravo")
+        bravo_ams.add_example(
+            LabeledExample(("allow", "alice", "write"), valid=False)
+        )
+        bravo_ams.padap.adapt()
+        bravo_ams.refresh_policies()
+        bravo = CoalitionParty(bravo_ams, net)
+        Coalition([alpha, bravo]).round()
+        # bravo rejected some of alpha's policies -> trust moved off 0.5
+        assert bravo.trust_in("alpha") != 0.5
+        # alpha heard the ratings back
+        assert "bravo" in alpha.trust
+
+    def test_low_trust_sender_ignored(self, make_ams):
+        net = CoalitionNetwork()
+        alpha = CoalitionParty(make_ams("alpha"), net)
+        bravo = CoalitionParty(make_ams("bravo"), net)
+        bravo.trust["alpha"] = 0.0
+        coalition = Coalition([alpha, bravo])
+        results = coalition.round(min_trust=0.25)
+        assert results["bravo"][0] == 0  # nothing adopted from alpha
+
+    def test_lossy_network_slows_propagation(self, make_ams):
+        reliable = CoalitionNetwork(loss_rate=0.0)
+        lossy = CoalitionNetwork(loss_rate=0.8, seed=3)
+        adopted = {}
+        for label, net in (("reliable", reliable), ("lossy", lossy)):
+            a = CoalitionParty(make_ams(f"a_{label}"), net)
+            b = CoalitionParty(make_ams(f"b_{label}"), net)
+            results = Coalition([a, b]).round()
+            adopted[label] = results[f"b_{label}"][0]
+        assert adopted["lossy"] <= adopted["reliable"]
+
+    def test_duplicate_party_names_rejected(self, make_ams):
+        net = CoalitionNetwork()
+        a1 = CoalitionParty(make_ams("same"), net)
+        with pytest.raises(AgenpError):
+            Coalition([a1, a1])

@@ -1,0 +1,155 @@
+"""Unit tests for PReP and PAdaP in isolation (not through the AMS)."""
+
+import pytest
+
+from repro.agenp import (
+    PolicyCheckingPoint,
+    PolicyRefinementPoint,
+    PolicyAdaptationPoint,
+    PolicyRepository,
+    RepresentationsRepository,
+    StoredPolicy,
+)
+from repro.agenp.monitoring import DecisionRecord, MonitoringLog
+from repro.core import Context, LabeledExample
+from repro.policy import Decision, Request
+
+
+@pytest.fixture
+def repositories():
+    return RepresentationsRepository(), PolicyRepository()
+
+
+class TestPReP:
+    def test_bootstrap_stores_model_v0(self, specification, repositories):
+        representations, policies = repositories
+        prep = PolicyRefinementPoint(specification, representations, policies)
+        model = prep.bootstrap()
+        assert model.version == 0
+        assert len(representations) == 1
+
+    def test_generate_installs_policies(self, specification, repositories):
+        representations, policies = repositories
+        prep = PolicyRefinementPoint(specification, representations, policies)
+        installed, rejections = prep.generate(Context.empty("ctx"))
+        assert len(installed) == 4
+        assert rejections == []
+        assert len(policies) == 4
+
+    def test_generate_replaces_old_set(self, specification, repositories):
+        representations, policies = repositories
+        prep = PolicyRefinementPoint(specification, representations, policies)
+        policies.add(StoredPolicy(("stale",)))
+        prep.generate(Context.empty("ctx"))
+        assert all(p.tokens != ("stale",) for p in policies)
+
+    def test_current_model_bootstraps_lazily(self, specification, repositories):
+        representations, policies = repositories
+        prep = PolicyRefinementPoint(specification, representations, policies)
+        assert prep.current_model().version == 0
+
+    def test_pcp_filter_applied(self, specification, interpreter, repositories):
+        representations, policies = repositories
+        pcp = PolicyCheckingPoint(interpreter=interpreter)
+        pcp.record_violation(
+            LabeledExample(("allow", "alice", "write"), Context.empty("ctx"), valid=False)
+        )
+        prep = PolicyRefinementPoint(
+            specification, representations, policies, pcp=pcp
+        )
+        installed, rejections = prep.generate(Context.empty("ctx"))
+        assert len(rejections) == 1
+        assert all(p.text != "allow alice write" for p in installed)
+
+
+class TestPAdaP:
+    def _prep_and_padap(self, specification, pcp=None):
+        representations = RepresentationsRepository()
+        policies = PolicyRepository()
+        prep = PolicyRefinementPoint(specification, representations, policies)
+        prep.bootstrap()
+        padap = PolicyAdaptationPoint(
+            specification.hypothesis_space, representations, pcp=pcp
+        )
+        return prep, padap, representations
+
+    def test_adapt_stores_new_version(self, specification):
+        __, padap, representations = self._prep_and_padap(specification)
+        padap.add_example(
+            LabeledExample(("allow", "bob", "write"), valid=False)
+        )
+        model, result = padap.adapt()
+        assert model.version == 1
+        assert result is not None
+        assert len(representations) == 2
+
+    def test_ingest_feedback_creates_examples(self, specification):
+        __, padap, __r = self._prep_and_padap(specification)
+        log = MonitoringLog()
+        record = log.append(
+            DecisionRecord(
+                Request({"subject": {"id": "bob"}}),
+                Decision.PERMIT,
+                "allow bob write",
+                Context.empty(),
+            )
+        )
+        log.mark_outcome(record.record_id, ok=False)
+        added = padap.ingest_feedback(log)
+        assert added == 1
+        assert len(padap.examples) == 1
+        assert not padap.examples[0].valid
+
+    def test_ingest_skips_unreviewed_and_duplicates(self, specification):
+        __, padap, __r = self._prep_and_padap(specification)
+        log = MonitoringLog()
+        unreviewed = log.append(
+            DecisionRecord(
+                Request({"subject": {"id": "a"}}),
+                Decision.PERMIT,
+                "allow alice read",
+                Context.empty(),
+            )
+        )
+        reviewed = log.append(
+            DecisionRecord(
+                Request({"subject": {"id": "a"}}),
+                Decision.PERMIT,
+                "allow alice read",
+                Context.empty(),
+            )
+        )
+        log.mark_outcome(reviewed.record_id, ok=True)
+        assert padap.ingest_feedback(log) == 1
+        # re-ingesting the same log adds nothing
+        assert padap.ingest_feedback(log) == 0
+
+    def test_needs_adaptation_mirrors_violations(self, specification):
+        __, padap, __r = self._prep_and_padap(specification)
+        log = MonitoringLog()
+        record = log.append(
+            DecisionRecord(
+                Request({"subject": {"id": "a"}}),
+                Decision.PERMIT,
+                "allow alice read",
+                Context.empty(),
+            )
+        )
+        assert not padap.needs_adaptation(log)
+        log.mark_outcome(record.record_id, ok=False)
+        assert padap.needs_adaptation(log)
+
+    def test_negative_examples_registered_with_pcp(self, specification, interpreter):
+        pcp = PolicyCheckingPoint(interpreter=interpreter)
+        __, padap, __r = self._prep_and_padap(specification, pcp=pcp)
+        padap.add_example(LabeledExample(("allow", "bob", "read"), valid=False))
+        assert len(pcp._known_violations) == 1
+
+    def test_contradictory_feedback_survives_via_budget(self, specification):
+        __, padap, representations = self._prep_and_padap(specification)
+        same = ("allow", "alice", "read")
+        padap.add_example(LabeledExample(same, valid=True))
+        padap.add_example(LabeledExample(same, valid=False))
+        model, result = padap.adapt()
+        # the learner found *some* model rather than crashing
+        assert model.version >= 0

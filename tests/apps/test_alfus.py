@@ -1,0 +1,106 @@
+"""Tests for the ALFUS/SAE autonomy taxonomy and delegation (Section IV.A)."""
+
+import pytest
+
+from repro.apps.cav.alfus import (
+    ALFUS_LEVELS,
+    TransientRestriction,
+    Vehicle,
+    alfus_to_sae,
+    effective_loa,
+    find_delegate,
+    sae_to_alfus,
+)
+from repro.errors import ReproError
+
+
+class TestTaxonomies:
+    def test_alfus_covers_eleven_levels(self):
+        assert sorted(ALFUS_LEVELS) == list(range(11))
+
+    def test_level_0_is_remote_control(self):
+        assert "remote control" in ALFUS_LEVELS[0]
+
+    def test_level_10_is_full_autonomy(self):
+        assert "full autonomy" in ALFUS_LEVELS[10]
+
+    def test_level_6_matches_paper_description(self):
+        # "Level 6 where a system can follow directives issued by a human
+        # operator that may include goal setting and decision approval"
+        assert "goal setting" in ALFUS_LEVELS[6]
+
+    @pytest.mark.parametrize("sae,alfus", [(0, 0), (3, 6), (5, 10)])
+    def test_sae_mapping(self, sae, alfus):
+        assert sae_to_alfus(sae) == alfus
+
+    def test_roundtrip_on_sae_points(self):
+        for sae in range(6):
+            assert alfus_to_sae(sae_to_alfus(sae)) == sae
+
+    def test_alfus_to_sae_rounds_down(self):
+        assert alfus_to_sae(7) == 3  # between SAE 3 (alfus 6) and 4 (alfus 8)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ReproError):
+            sae_to_alfus(6)
+        with pytest.raises(ReproError):
+            alfus_to_sae(11)
+
+
+class TestTransientRestrictions:
+    def test_cap_applies_in_region(self):
+        roadworks = TransientRestriction(cap=4, reason="maintenance", region="downtown")
+        assert effective_loa(10, "downtown", [roadworks]) == 4
+        assert effective_loa(10, "suburbs", [roadworks]) == 10
+
+    def test_global_restriction(self):
+        lockdown = TransientRestriction(cap=2, reason="emergency")
+        assert effective_loa(8, "anywhere", [lockdown]) == 2
+
+    def test_inactive_restriction_ignored(self):
+        night_cap = TransientRestriction(
+            cap=3, reason="night", active=lambda ctx: ctx.get("night", False)
+        )
+        assert effective_loa(9, "r", [night_cap], {"night": False}) == 9
+        assert effective_loa(9, "r", [night_cap], {"night": True}) == 3
+
+    def test_tightest_cap_wins(self):
+        restrictions = [
+            TransientRestriction(cap=6, reason="a"),
+            TransientRestriction(cap=4, reason="b"),
+        ]
+        assert effective_loa(10, "r", restrictions) == 4
+
+    def test_cap_never_raises_loa(self):
+        generous = TransientRestriction(cap=10, reason="x")
+        assert effective_loa(3, "r", [generous]) == 3
+
+
+class TestDelegation:
+    FLEET = [
+        Vehicle("low", 2, "downtown"),
+        Vehicle("mid", 6, "downtown"),
+        Vehicle("high", 10, "downtown"),
+        Vehicle("elsewhere", 10, "suburbs"),
+        Vehicle("selfish", 10, "downtown", shareable=False),
+    ]
+
+    def test_least_capable_sufficient_vehicle_chosen(self):
+        delegate = find_delegate(5, "downtown", self.FLEET)
+        assert delegate is not None and delegate.name == "mid"
+
+    def test_region_must_match(self):
+        assert find_delegate(5, "nowhere", self.FLEET) is None
+
+    def test_unshareable_excluded(self):
+        fleet = [Vehicle("selfish", 10, "downtown", shareable=False)]
+        assert find_delegate(5, "downtown", fleet) is None
+
+    def test_restrictions_limit_delegates(self):
+        cap = TransientRestriction(cap=4, reason="maintenance", region="downtown")
+        delegate = find_delegate(5, "downtown", self.FLEET, [cap])
+        assert delegate is None  # even LOA-10 vehicles are capped to 4
+
+    def test_no_delegate_when_none_sufficient(self):
+        fleet = [Vehicle("a", 3, "r"), Vehicle("b", 4, "r")]
+        assert find_delegate(9, "r", fleet) is None

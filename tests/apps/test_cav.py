@@ -1,0 +1,109 @@
+"""Tests for the CAV application (paper Section IV.A)."""
+
+import pytest
+
+from repro.apps.cav import (
+    CavScenario,
+    CavSymbolicLearner,
+    TASK_LOA,
+    cav_asg,
+    cav_hypothesis_space,
+    ground_truth_accept,
+    sample_scenarios,
+    scenario_to_context,
+)
+from repro.asg import accepts
+
+
+class TestDomain:
+    def test_loa_gates_acceptance(self):
+        low = CavScenario("overtake", vehicle_loa=1, region_loa=5, weather="clear", time_of_day="day")
+        high = CavScenario("overtake", vehicle_loa=4, region_loa=5, weather="clear", time_of_day="day")
+        assert not ground_truth_accept(low)
+        assert ground_truth_accept(high)
+
+    def test_region_restriction(self):
+        scenario = CavScenario("overtake", 5, 1, "clear", "day")
+        assert not ground_truth_accept(scenario)
+
+    def test_severe_weather_blocks_risky_tasks(self):
+        risky = CavScenario("lane_change", 5, 5, "snow", "day")
+        safe = CavScenario("lane_keep", 5, 5, "snow", "day")
+        assert not ground_truth_accept(risky)
+        assert ground_truth_accept(safe)
+
+    def test_sampling_is_deterministic(self):
+        assert sample_scenarios(10, seed=4) == sample_scenarios(10, seed=4)
+
+    def test_features_roundtrip(self):
+        scenario = CavScenario("park", 3, 3, "rain", "night")
+        features = scenario.features()
+        assert features["task"] == "park"
+        assert features["vehicle_loa"] == 3
+
+
+class TestInitialASG:
+    def test_background_derives_insufficiency(self):
+        asg = cav_asg()
+        scenario = CavScenario("overtake", 1, 5, "clear", "day")
+        grammar = asg.with_context(scenario_to_context(scenario).program)
+        # without learned constraints everything is still accepted
+        assert accepts(grammar, ("accept", "overtake"))
+
+    def test_context_contains_requirements(self):
+        context = scenario_to_context(CavScenario("park", 2, 2, "clear", "day"))
+        facts = {repr(f) for f in context.facts()}
+        assert f"requires(park, {TASK_LOA['park']})" in facts
+
+    def test_hypothesis_space_nonempty(self):
+        assert len(cav_hypothesis_space()) > 10
+
+
+class TestSymbolicLearner:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        return CavSymbolicLearner().fit(sample_scenarios(40, seed=1))
+
+    def test_recovers_ground_truth_constraints(self, fitted):
+        constraints = fitted.learned_constraints()
+        assert ":- veh_insufficient." in constraints
+        assert ":- reg_insufficient." in constraints
+        assert ":- risky, severe." in constraints
+
+    def test_perfect_generalization(self, fitted):
+        test = sample_scenarios(60, seed=123)
+        predictions = fitted.predict([s for s, __ in test])
+        assert predictions == [label for __, label in test]
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            CavSymbolicLearner().predict_one(
+                CavScenario("park", 2, 2, "clear", "day")
+            )
+
+
+class TestSymbolicVsShallow:
+    def test_symbolic_beats_shallow_at_small_n(self):
+        """The paper's headline claim (Section IV.A): fewer examples for
+        greater accuracy than shallow ML."""
+        from repro.baselines import DecisionTreeClassifier, OneHotEncoder
+        from repro.learning import accuracy
+
+        train = sample_scenarios(24, seed=5)
+        test = sample_scenarios(120, seed=321)
+        labels = [label for __, label in test]
+
+        symbolic = CavSymbolicLearner().fit(train)
+        symbolic_acc = accuracy(symbolic.predict([s for s, __ in test]), labels)
+
+        encoder = OneHotEncoder().fit([s.features() for s, __ in train])
+        X_train = encoder.transform([s.features() for s, __ in train])
+        y_train = [int(label) for __, label in train]
+        import numpy as np
+
+        tree = DecisionTreeClassifier().fit(X_train, np.array(y_train))
+        X_test = encoder.transform([s.features() for s, __ in test])
+        tree_acc = accuracy([bool(p) for p in tree.predict(X_test)], labels)
+
+        assert symbolic_acc >= tree_acc
+        assert symbolic_acc >= 0.9

@@ -1,0 +1,66 @@
+"""Tests for the coalition data-sharing application (paper Section IV.D)."""
+
+import pytest
+
+from repro.apps.datasharing import (
+    DataOffer,
+    HELPERS,
+    HelperSelectionLearner,
+    correct_helper,
+    sample_offers,
+    sharing_allowed,
+)
+
+
+class TestDoctrine:
+    def test_documents_need_provenance(self):
+        offer = DataOffer("trusted", "document", "high", "high")
+        assert correct_helper(offer) == "provenance_verify"
+
+    def test_untrusted_needs_deep_scan(self):
+        offer = DataOffer("untrusted", "imagery", "high", "high")
+        assert correct_helper(offer) == "deep_scan"
+
+    def test_trusted_nondocument_basic(self):
+        offer = DataOffer("trusted", "signal", "high", "low")
+        assert correct_helper(offer) == "basic_check"
+
+    def test_refusal_for_untrusted_low_quality(self):
+        assert not sharing_allowed(DataOffer("untrusted", "signal", "low", "high"))
+        assert sharing_allowed(DataOffer("trusted", "signal", "low", "high"))
+
+
+class TestLearning:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        return HelperSelectionLearner().fit(sample_offers(30, seed=1))
+
+    def test_generalizes_to_unseen_offers(self, fitted):
+        assert fitted.accuracy(sample_offers(60, seed=42)) >= 0.95
+
+    def test_decision_for_each_case(self, fitted):
+        assert fitted.decide(DataOffer("trusted", "document", "high", "high")) == (
+            "route",
+            "provenance_verify",
+        )
+        assert fitted.decide(DataOffer("untrusted", "imagery", "high", "low")) == (
+            "route",
+            "deep_scan",
+        )
+        assert fitted.decide(DataOffer("untrusted", "signal", "low", "low")) == (
+            "refuse",
+        )
+
+    def test_decide_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            HelperSelectionLearner().decide(
+                DataOffer("trusted", "signal", "high", "high")
+            )
+
+    def test_correct_string_shapes(self):
+        assert HelperSelectionLearner.correct_string(
+            DataOffer("trusted", "imagery", "high", "high")
+        ) == ("route", "basic_check")
+        assert HelperSelectionLearner.correct_string(
+            DataOffer("untrusted", "imagery", "low", "high")
+        ) == ("refuse",)

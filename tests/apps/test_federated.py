@@ -1,0 +1,84 @@
+"""Tests for the federated-learning governance application (Section IV.E)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.federated import (
+    FederatedSimulation,
+    GovernanceLearner,
+    InsightOffer,
+    PartnerSpec,
+    correct_action,
+    sample_insight_offers,
+)
+
+
+class TestDoctrine:
+    def test_untrusted_divergent_rejected(self):
+        assert correct_action(InsightOffer(False, True, True)) == "reject"
+
+    def test_untrusted_consistent_adapted(self):
+        assert correct_action(InsightOffer(False, True, False)) == "adapt"
+
+    def test_trusted_shifted_retrains(self):
+        assert correct_action(InsightOffer(True, False, False)) == "retrain"
+
+    def test_trusted_same_combined(self):
+        assert correct_action(InsightOffer(True, True, False)) == "combine"
+
+
+class TestGovernanceLearning:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        return GovernanceLearner().fit(sample_insight_offers(24, seed=1))
+
+    def test_generalization(self, fitted):
+        assert fitted.accuracy(sample_insight_offers(60, seed=77)) >= 0.9
+
+    def test_decide_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            GovernanceLearner().decide(InsightOffer(True, True, False))
+
+
+class TestSimulation:
+    @pytest.fixture(scope="class")
+    def partners(self):
+        return [
+            PartnerSpec("ally", True, True, False, 80),
+            PartnerSpec("ally2", True, True, False, 80),
+            PartnerSpec("drifted", True, False, False, 80),
+            PartnerSpec("attacker", False, False, True, 80),
+        ]
+
+    def test_round_reports_actions(self, partners):
+        sim = FederatedSimulation(partners, seed=1, noise=1.0)
+        result = sim.run_round(correct_action)
+        assert sum(result["actions"].values()) == len(partners)
+        assert result["mse"] > 0
+
+    def test_poisoned_update_damages_naive_combining(self, partners):
+        sim = FederatedSimulation(partners, seed=2, noise=1.0)
+        governed = sim.run_round(correct_action)["mse"]
+        naive = sim.run_round(lambda offer: "combine")["mse"]
+        assert naive > governed
+
+    def test_governance_beats_isolation(self, partners):
+        # averaged over seeds: using trusted insights beats local-only
+        governed, isolated = [], []
+        for seed in range(5):
+            sim = FederatedSimulation(partners, seed=seed, noise=1.0)
+            governed.append(sim.run_round(correct_action)["mse"])
+            isolated.append(sim.run_round(lambda offer: "reject")["mse"])
+        assert np.mean(governed) < np.mean(isolated)
+
+    def test_learned_policy_matches_oracle(self, partners):
+        gov = GovernanceLearner().fit(sample_insight_offers(24, seed=1))
+        mses = []
+        for seed in range(3):
+            sim = FederatedSimulation(partners, seed=seed, noise=1.0)
+            learned = sim.run_round(gov.decide)["mse"]
+            oracle = sim.oracle_mse()
+            mses.append((learned, oracle))
+        learned_avg = np.mean([l for l, __ in mses])
+        oracle_avg = np.mean([o for __, o in mses])
+        assert learned_avg <= oracle_avg * 1.5 + 0.5

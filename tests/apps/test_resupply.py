@@ -1,0 +1,107 @@
+"""Tests for the logistical resupply application (paper Section IV.B)."""
+
+import pytest
+
+from repro.apps.resupply import (
+    MissionConditions,
+    ResupplyLearner,
+    ROUTES,
+    ground_truth_route_ok,
+    simulate_missions,
+)
+from repro.apps.resupply.domain import perturb_conditions
+
+
+def conditions(**overrides):
+    base = dict(
+        threat={"main": "low", "river": "low", "narrow": "low"},
+        weather="clear",
+        time_of_day="day",
+        convoy_size="small",
+    )
+    base.update(overrides)
+    return MissionConditions(**base)
+
+
+class TestDoctrine:
+    def test_high_threat_blocks_route(self):
+        bad = conditions(threat={"main": "high", "river": "low", "narrow": "low"})
+        assert not ground_truth_route_ok("main", bad)
+        assert ground_truth_route_ok("river", bad)
+
+    def test_river_blocked_at_night(self):
+        assert not ground_truth_route_ok("river", conditions(time_of_day="night"))
+        assert ground_truth_route_ok("main", conditions(time_of_day="night"))
+
+    def test_river_blocked_in_storm(self):
+        assert not ground_truth_route_ok("river", conditions(weather="storm"))
+
+    def test_narrow_blocked_for_large_convoy(self):
+        assert not ground_truth_route_ok("narrow", conditions(convoy_size="large"))
+        assert ground_truth_route_ok("narrow", conditions(convoy_size="small"))
+
+
+class TestSimulation:
+    def test_outcome_labels_match_executed_conditions(self):
+        for mission in simulate_missions(20, seed=3):
+            for route in ROUTES:
+                assert mission.route_ok[route] == ground_truth_route_ok(
+                    route, mission.executed
+                )
+
+    def test_zero_drift_means_planning_equals_execution(self):
+        for mission in simulate_missions(10, seed=4, drift=0.0):
+            assert mission.planned == mission.executed
+
+    def test_drift_perturbs_some_conditions(self):
+        import random
+
+        rng = random.Random(1)
+        base = conditions()
+        perturbed = [perturb_conditions(base, rng, drift=1.0) for __ in range(20)]
+        assert any(p != base for p in perturbed)
+
+    def test_time_and_convoy_never_drift(self):
+        import random
+
+        rng = random.Random(2)
+        base = conditions(time_of_day="night", convoy_size="large")
+        for __ in range(10):
+            perturbed = perturb_conditions(base, rng, drift=1.0)
+            assert perturbed.time_of_day == "night"
+            assert perturbed.convoy_size == "large"
+
+
+class TestLearning:
+    def test_execution_phase_recovers_doctrine(self):
+        learner = ResupplyLearner(phase="execution")
+        learner.observe(simulate_missions(25, seed=6, drift=0.0))
+        learner.fit()
+        test = simulate_missions(30, seed=777, drift=0.0)
+        assert learner.accuracy(test) >= 0.95
+
+    def test_accuracy_improves_with_missions(self):
+        few = ResupplyLearner(phase="execution")
+        few.observe(simulate_missions(2, seed=8, drift=0.0))
+        few.fit()
+        many = ResupplyLearner(phase="execution")
+        many.observe(simulate_missions(25, seed=8, drift=0.0))
+        many.fit()
+        test = simulate_missions(40, seed=999, drift=0.0)
+        assert many.accuracy(test) >= few.accuracy(test)
+
+    def test_planning_phase_tolerates_drift(self):
+        learner = ResupplyLearner(phase="planning")
+        learner.observe(simulate_missions(20, seed=10, drift=0.3))
+        learner.fit()  # must not raise despite contradictory examples
+        test = simulate_missions(30, seed=1234, drift=0.3)
+        assert learner.accuracy(test) >= 0.6
+
+    def test_invalid_phase_rejected(self):
+        with pytest.raises(ValueError):
+            ResupplyLearner(phase="retrospective")
+
+    def test_route_allowed_requires_fit(self):
+        learner = ResupplyLearner()
+        with pytest.raises(RuntimeError):
+            learner.route_allowed("main", conditions())

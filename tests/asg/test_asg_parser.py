@@ -1,0 +1,96 @@
+"""Unit tests for the ASG text format."""
+
+import pytest
+
+from repro.asg import parse_asg
+from repro.errors import GrammarSyntaxError
+
+
+class TestBasicParsing:
+    def test_productions_and_annotations(self):
+        asg = parse_asg(
+            """
+s -> "a" t { :- bad@2. }
+t -> "b"   { bad. }
+t -> "c"
+"""
+        )
+        assert len(asg.cfg.productions) == 3
+        assert len(asg.annotation(0)) == 1
+        assert len(asg.annotation(1)) == 1
+        assert len(asg.annotation(2)) == 0
+
+    def test_multiline_annotation_blocks(self):
+        asg = parse_asg(
+            """
+s -> "x" {
+    a.
+    b :- a.
+    :- c.
+}
+"""
+        )
+        assert len(asg.annotation(0)) == 3
+
+    def test_choice_rule_braces_inside_annotation(self):
+        asg = parse_asg('s -> "x" { { p ; q } 1. :- p. }')
+        assert len(asg.annotation(0)) == 2
+
+    def test_alternatives_with_pipe(self):
+        asg = parse_asg('s -> "a" | "b"')
+        assert len(asg.cfg.productions) == 2
+
+    def test_annotation_binds_to_preceding_alternative(self):
+        asg = parse_asg('s -> "a" { p. } | "b"')
+        assert len(asg.annotation(0)) == 1
+        assert len(asg.annotation(1)) == 0
+
+    def test_hash_comments_outside_blocks(self):
+        asg = parse_asg('s -> "x"  # a comment\n# whole line')
+        assert len(asg.cfg.productions) == 1
+
+    def test_percent_comments_inside_blocks(self):
+        asg = parse_asg('s -> "x" { p. % an ASP comment\n }')
+        assert len(asg.annotation(0)) == 1
+
+    def test_epsilon_production(self):
+        asg = parse_asg('s -> "a" s\ns -> eps')
+        assert any(not p.rhs for p in asg.cfg.productions)
+
+
+class TestErrors:
+    def test_empty_grammar(self):
+        with pytest.raises(GrammarSyntaxError):
+            parse_asg("")
+
+    def test_unbalanced_braces(self):
+        with pytest.raises(GrammarSyntaxError):
+            parse_asg('s -> "x" { p. ')
+
+    def test_undefined_nonterminal(self):
+        with pytest.raises(GrammarSyntaxError):
+            parse_asg("s -> t")
+
+    def test_continuation_without_rule(self):
+        with pytest.raises(GrammarSyntaxError):
+            parse_asg('| "x"')
+
+
+class TestRoundTrip:
+    def test_parsed_asg_has_working_semantics(self):
+        from repro.asg import accepts
+
+        asg = parse_asg(
+            """
+s -> left right { :- val(X)@1, val(X)@2. }
+left  -> "a" { val(1). }
+left  -> "b" { val(2). }
+right -> "a" { val(1). }
+right -> "b" { val(2). }
+"""
+        )
+        # the constraint forbids equal values: "a a" and "b b" invalid
+        assert not accepts(asg, ("a", "a"))
+        assert not accepts(asg, ("b", "b"))
+        assert accepts(asg, ("a", "b"))
+        assert accepts(asg, ("b", "a"))

@@ -1,0 +1,108 @@
+"""Tests for generation-level explanations (Section V.B, learning level)."""
+
+import pytest
+
+from repro.asp import parse_atom, parse_program
+from repro.asg import parse_asg
+from repro.asg.explain import (
+    RejectionExplanation,
+    context_counterfactuals,
+    explain_rejection,
+)
+
+ASG_TEXT = """
+policy -> "allow" subject action {
+    :- is(alice)@2, is(write)@3.
+    :- is(bob)@2, not emergency.
+}
+subject -> "alice" { is(alice). }
+subject -> "bob"   { is(bob). }
+action  -> "read"  { is(read). }
+action  -> "write" { is(write). }
+"""
+
+
+@pytest.fixture
+def asg():
+    return parse_asg(ASG_TEXT)
+
+
+class TestRejectionExplanation:
+    def test_valid_string_has_no_explanation(self, asg):
+        assert explain_rejection(asg, ("allow", "alice", "read")) is None
+
+    def test_syntactic_rejection(self, asg):
+        explanation = explain_rejection(asg, ("allow", "alice"))
+        assert explanation is not None
+        assert explanation.syntactic
+        assert "syntax" in explanation.text()
+
+    def test_blocking_constraint_identified(self, asg):
+        explanation = explain_rejection(asg, ("allow", "alice", "write"))
+        assert explanation is not None
+        assert not explanation.syntactic
+        (blockers,) = explanation.blockers_per_tree
+        assert len(blockers) == 1
+        assert "is(alice)" in blockers[0].rule_text
+        assert "is(write)" in blockers[0].rule_text
+        assert blockers[0].production_id == 0
+
+    def test_context_dependent_blocker(self, asg):
+        explanation = explain_rejection(asg, ("allow", "bob", "read"))
+        assert explanation is not None
+        (blockers,) = explanation.blockers_per_tree
+        assert any("emergency" in b.rule_text for b in blockers)
+
+    def test_context_unblocks(self, asg):
+        emergency = parse_program("emergency.")
+        assert explain_rejection(asg, ("allow", "bob", "read"), emergency) is None
+
+    def test_explanation_text_mentions_string(self, asg):
+        explanation = explain_rejection(asg, ("allow", "alice", "write"))
+        assert "allow alice write" in explanation.text()
+
+
+class TestContextCounterfactuals:
+    def test_flip_to_valid(self, asg):
+        results = context_counterfactuals(
+            asg,
+            ("allow", "bob", "read"),
+            context_atoms=[parse_atom("emergency")],
+        )
+        assert len(results) == 1
+        facts, valid = results[0]
+        assert valid
+        assert parse_atom("emergency") in facts
+
+    def test_flip_to_invalid(self, asg):
+        current = parse_program("emergency.")
+        results = context_counterfactuals(
+            asg,
+            ("allow", "bob", "read"),
+            context_atoms=[parse_atom("emergency")],
+            current=current,
+        )
+        assert len(results) == 1
+        facts, valid = results[0]
+        assert not valid
+        assert parse_atom("emergency") not in facts
+
+    def test_no_counterfactual_for_unconditional_rejection(self, asg):
+        # alice/write is blocked regardless of context
+        results = context_counterfactuals(
+            asg,
+            ("allow", "alice", "write"),
+            context_atoms=[parse_atom("emergency")],
+        )
+        assert results == []
+
+    def test_results_are_minimal(self, asg):
+        results = context_counterfactuals(
+            asg,
+            ("allow", "bob", "read"),
+            context_atoms=[parse_atom("emergency"), parse_atom("night")],
+            max_changes=2,
+        )
+        # only the single-atom emergency flip; the emergency+night pair
+        # is a superset and must be suppressed
+        assert len(results) == 1

@@ -1,0 +1,61 @@
+"""Unit tests for policy generation from ASGs (L(G(C)) enumeration)."""
+
+import pytest
+
+from repro.asp import parse_program
+from repro.asg import accepts, generate_policies, generate_valid_trees, parse_asg
+
+ASG_TEXT = """
+policy -> "allow" subject action {
+    :- is(alice)@2, is(write)@3.
+    :- is(bob)@2, is(read)@3, not emergency.
+}
+subject -> "alice" { is(alice). }
+subject -> "bob"   { is(bob). }
+action  -> "read"  { is(read). }
+action  -> "write" { is(write). }
+"""
+
+
+@pytest.fixture
+def asg():
+    return parse_asg(ASG_TEXT)
+
+
+class TestGeneration:
+    def test_only_valid_policies_generated(self, asg):
+        policies = generate_policies(asg)
+        assert ("allow", "alice", "read") in policies
+        assert ("allow", "bob", "write") in policies
+        assert ("allow", "alice", "write") not in policies
+        assert ("allow", "bob", "read") not in policies
+
+    def test_generation_matches_membership(self, asg):
+        from repro.grammar import generate_strings
+
+        generated = set(generate_policies(asg))
+        for string in generate_strings(asg.cfg):
+            assert (string in generated) == accepts(asg, string)
+
+    def test_context_changes_generated_set(self, asg):
+        base = set(generate_policies(asg))
+        emergency = set(generate_policies(asg, context=parse_program("emergency.")))
+        assert ("allow", "bob", "read") in emergency
+        assert ("allow", "bob", "read") not in base
+        assert base < emergency
+
+    def test_max_policies_cap(self, asg):
+        assert len(generate_policies(asg, max_policies=1)) == 1
+
+    def test_trees_carry_valid_derivations(self, asg):
+        for tree, string in generate_valid_trees(asg):
+            assert tree.yield_string() == string
+
+    def test_empty_language(self):
+        dead = parse_asg('s -> "x" { :- true. true. }')
+        assert generate_policies(dead) == []
+
+    def test_infinite_grammar_bounded(self):
+        asg = parse_asg('s -> "a" s\ns -> "a"')
+        policies = generate_policies(asg, max_length=3)
+        assert sorted(len(p) for p in policies) == [1, 2, 3]

@@ -1,0 +1,139 @@
+"""Property-based tests for Answer Set Grammar invariants.
+
+* ``L(G) ⊆ L(G_CF)`` — ASG membership implies CFG membership;
+* anti-monotonicity — adding constraints to annotations never grows the
+  language;
+* context monotonicity for negation-free conditions — adding facts to a
+  context can only *enable* policies whose constraints test context
+  atoms positively... in general contexts are non-monotone (negation as
+  failure), so the checked property is the exact one: with a constraint
+  body ``is(x)@i, not c``, adding ``c`` enables, removing disables;
+* generation/membership agreement — every generated policy is accepted
+  and every accepted short string is generated.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asp.atoms import Atom, Literal
+from repro.asp.parser import parse_program
+from repro.asp.rules import NormalRule
+from repro.asp.terms import Constant
+from repro.asg import ASG, accepts, generate_policies, parse_asg
+from repro.grammar import recognize
+
+SUBJECTS = ("alice", "bob", "carol")
+ACTIONS = ("read", "write")
+
+BASE = parse_asg(
+    """
+policy -> "allow" subject action
+subject -> "alice" { is(alice). }
+subject -> "bob"   { is(bob). }
+subject -> "carol" { is(carol). }
+action  -> "read"  { is(read). }
+action  -> "write" { is(write). }
+"""
+)
+
+
+def literal_pool():
+    pool = [Literal(Atom("is", [Constant(s)], (2,)), True) for s in SUBJECTS]
+    pool += [Literal(Atom("is", [Constant(a)], (3,)), True) for a in ACTIONS]
+    pool += [
+        Literal(Atom("ctx"), True),
+        Literal(Atom("ctx"), False),
+    ]
+    return pool
+
+
+@st.composite
+def constraint_sets(draw):
+    pool = literal_pool()
+    n_rules = draw(st.integers(min_value=0, max_value=3))
+    rules = []
+    for __ in range(n_rules):
+        size = draw(st.integers(min_value=1, max_value=2))
+        indices = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(pool) - 1),
+                min_size=size,
+                max_size=size,
+                unique=True,
+            )
+        )
+        body = [pool[i] for i in indices]
+        atoms = {lit.atom for lit in body}
+        if len(atoms) < len(body):
+            continue
+        rules.append(NormalRule(None, body))
+    return rules
+
+
+ALL_STRINGS = [
+    ("allow", subject, action) for subject in SUBJECTS for action in ACTIONS
+]
+
+
+class TestLanguageInvariants:
+    @given(constraint_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_asg_language_subset_of_cfg(self, constraints):
+        grammar = BASE.with_rules([(rule, 0) for rule in constraints])
+        for tokens in ALL_STRINGS:
+            if accepts(grammar, tokens):
+                assert recognize(grammar.cfg, tokens)
+
+    @given(constraint_sets(), constraint_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_adding_constraints_shrinks_language(self, first, second):
+        smaller = BASE.with_rules([(rule, 0) for rule in first])
+        larger_set = smaller.with_rules([(rule, 0) for rule in second])
+        for tokens in ALL_STRINGS:
+            if accepts(larger_set, tokens):
+                assert accepts(smaller, tokens)
+
+    @given(constraint_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_generation_agrees_with_membership(self, constraints):
+        grammar = BASE.with_rules([(rule, 0) for rule in constraints])
+        generated = set(generate_policies(grammar, max_length=3))
+        for tokens in ALL_STRINGS:
+            assert (tokens in generated) == accepts(grammar, tokens)
+
+    @given(constraint_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_context_placement_agreement_for_root_rules(self, constraints):
+        """For rules attached to the start production, Definition 3's
+        'all' placement and Section III.A's 'start' placement agree."""
+        grammar = BASE.with_rules([(rule, 0) for rule in constraints])
+        context = parse_program("ctx.")
+        with_all = grammar.with_context(context, where="all")
+        with_start = grammar.with_context(context, where="start")
+        for tokens in ALL_STRINGS:
+            assert accepts(with_all, tokens) == accepts(with_start, tokens)
+
+
+class TestContextSensitivity:
+    def test_negated_context_condition_is_nonmonotone(self):
+        grammar = BASE.with_rules(
+            [
+                (
+                    NormalRule(
+                        None,
+                        [
+                            Literal(Atom("is", [Constant("bob")], (2,)), True),
+                            Literal(Atom("ctx"), False),
+                        ],
+                    ),
+                    0,
+                )
+            ]
+        )
+        without = accepts(grammar, ("allow", "bob", "read"))
+        with_ctx = accepts(
+            grammar.with_context(parse_program("ctx.")), ("allow", "bob", "read")
+        )
+        assert not without and with_ctx  # adding a fact *enabled* a policy

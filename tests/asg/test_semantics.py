@@ -1,0 +1,190 @@
+"""Unit tests for Answer Set Grammar semantics (paper Section II.A)."""
+
+import pytest
+
+from repro.asp import parse_program, parse_rule
+from repro.asg import (
+    ASG,
+    accepting_witness,
+    accepts,
+    parse_asg,
+    reroot_rule,
+    tree_program,
+)
+from repro.errors import GrammarError
+from repro.grammar import parse_cfg, parse_trees
+
+BASIC = """
+policy -> "allow" subject action {
+    :- is(alice)@2, is(write)@3.
+}
+policy -> "deny" subject action
+subject -> "alice" { is(alice). }
+subject -> "bob"   { is(bob). }
+action  -> "read"  { is(read). }
+action  -> "write" { is(write). }
+"""
+
+
+@pytest.fixture
+def asg():
+    return parse_asg(BASIC)
+
+
+class TestRerooting:
+    def test_unannotated_atom_gets_node_trace(self):
+        rule = parse_rule("is(alice).")
+        rerooted = reroot_rule(rule, (2,))
+        assert rerooted.head.annotation == (2,)
+
+    def test_annotated_atom_gets_prefixed(self):
+        rule = parse_rule(":- is(alice)@2, is(write)@3.")
+        rerooted = reroot_rule(rule, ())
+        assert rerooted.body[0].atom.annotation == (2,)
+        rerooted_deep = reroot_rule(rule, (1, 4))
+        assert rerooted_deep.body[0].atom.annotation == (1, 4, 2)
+
+    def test_rerooting_preserves_sign(self):
+        rule = parse_rule("ok :- not bad@1.")
+        rerooted = reroot_rule(rule, (3,))
+        assert not rerooted.body[0].positive
+        assert rerooted.body[0].atom.annotation == (3, 1)
+
+
+class TestTreeProgram:
+    def test_program_collects_all_node_annotations(self, asg):
+        (tree,) = parse_trees(asg.cfg, ("allow", "alice", "write"))
+        program = tree_program(asg, tree)
+        # root constraint + subject fact + action fact
+        assert len(program) == 3
+
+    def test_facts_annotated_with_child_traces(self, asg):
+        (tree,) = parse_trees(asg.cfg, ("allow", "alice", "read"))
+        program = tree_program(asg, tree)
+        heads = {r.head for r in program if r.head is not None}
+        annotations = {h.annotation for h in heads}
+        assert (2,) in annotations and (3,) in annotations
+
+
+class TestMembership:
+    def test_semantically_valid_accepted(self, asg):
+        assert accepts(asg, ("allow", "alice", "read"))
+        assert accepts(asg, ("allow", "bob", "write"))
+
+    def test_constraint_rejects(self, asg):
+        assert not accepts(asg, ("allow", "alice", "write"))
+
+    def test_unconstrained_production_accepts(self, asg):
+        assert accepts(asg, ("deny", "alice", "write"))
+
+    def test_syntactically_invalid_rejected(self, asg):
+        assert not accepts(asg, ("allow", "alice"))
+        assert not accepts(asg, ("frobnicate",))
+
+    def test_language_subset_of_cfg_language(self, asg):
+        from repro.grammar import generate_strings
+
+        for string in generate_strings(asg.cfg):
+            if accepts(asg, string):
+                # membership implies CFG membership by construction
+                from repro.grammar import recognize
+
+                assert recognize(asg.cfg, string)
+
+    def test_witness_contains_tree_and_answer_set(self, asg):
+        witness = accepting_witness(asg, ("allow", "bob", "read"))
+        assert witness is not None
+        tree, model = witness
+        assert tree.yield_string() == ("allow", "bob", "read")
+        assert any(atom.predicate == "is" for atom in model)
+
+    def test_no_witness_for_rejected(self, asg):
+        assert accepting_witness(asg, ("allow", "alice", "write")) is None
+
+
+class TestAmbiguousGrammars:
+    def test_any_satisfiable_tree_suffices(self):
+        # Ambiguous grammar: two trees for "x x"; one production is
+        # annotated with an unsatisfiable program, the other is free.
+        asg = parse_asg(
+            """
+s -> a a
+s -> "x" "x" { :- true. true. }
+a -> "x"
+"""
+        )
+        assert accepts(asg, ("x", "x"))
+
+    def test_rejected_only_if_all_trees_fail(self):
+        asg = parse_asg(
+            """
+s -> a a { :- true. true. }
+s -> "x" "x" { :- true. true. }
+a -> "x"
+"""
+        )
+        assert not accepts(asg, ("x", "x"))
+
+
+class TestContext:
+    def test_context_enables_policy(self):
+        asg = parse_asg(
+            """
+policy -> "allow" subject {
+    :- is(bob)@2, not emergency.
+}
+subject -> "alice" { is(alice). }
+subject -> "bob"   { is(bob). }
+"""
+        )
+        assert not accepts(asg, ("allow", "bob"))
+        emergency = parse_program("emergency.")
+        assert accepts(asg.with_context(emergency), ("allow", "bob"))
+        assert accepts(asg.with_context(emergency), ("allow", "alice"))
+
+    def test_context_at_start_only(self):
+        asg = parse_asg(
+            """
+policy -> "go" { :- not weekend. }
+"""
+        )
+        weekend = parse_program("weekend.")
+        assert accepts(asg.with_context(weekend, where="start"), ("go",))
+        assert not accepts(asg, ("go",))
+
+    def test_invalid_where_rejected(self):
+        asg = parse_asg('s -> "x"')
+        with pytest.raises(ValueError):
+            asg.with_context(parse_program("a."), where="everywhere")
+
+
+class TestHypothesisAttachment:
+    def test_with_rules_targets_production(self):
+        asg = parse_asg(
+            """
+policy -> "allow" subject
+subject -> "alice" { is(alice). }
+subject -> "bob"   { is(bob). }
+"""
+        )
+        rule = parse_rule(":- is(bob)@2.")
+        learned = asg.with_rules([(rule, 0)])
+        assert accepts(learned, ("allow", "alice"))
+        assert not accepts(learned, ("allow", "bob"))
+        # original grammar is unchanged (value semantics)
+        assert accepts(asg, ("allow", "bob"))
+
+    def test_with_rules_bad_production_id(self):
+        asg = parse_asg('s -> "x"')
+        with pytest.raises(GrammarError):
+            asg.with_rules([(parse_rule(":- a."), 99)])
+
+
+class TestAnnotationValidation:
+    def test_out_of_range_annotation_rejected(self):
+        with pytest.raises(GrammarError):
+            parse_asg('s -> "x" { :- a@2. }')
+
+    def test_annotation_within_arity_accepted(self):
+        asg = parse_asg('s -> "x" t { :- a@2. }\nt -> "y" { a. }')
+        assert not accepts(asg, ("x", "y"))

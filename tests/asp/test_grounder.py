@@ -1,0 +1,128 @@
+"""Unit tests for the grounder."""
+
+import pytest
+
+from repro.asp.grounder import ground_program, match_atom
+from repro.asp.parser import parse_atom, parse_program
+from repro.errors import GroundingError, UnsafeRuleError
+
+
+def ground(text: str):
+    return ground_program(parse_program(text))
+
+
+class TestPossibleAtoms:
+    def test_facts_are_possible(self):
+        result = ground("p(a). p(b).")
+        assert parse_atom("p(a)") in result.atoms
+        assert parse_atom("p(b)") in result.atoms
+
+    def test_derived_atoms_are_possible(self):
+        result = ground("p(a). q(X) :- p(X).")
+        assert parse_atom("q(a)") in result.atoms
+
+    def test_negation_ignored_for_possibility(self):
+        result = ground("p(a). q(X) :- p(X), not r(X).")
+        assert parse_atom("q(a)") in result.atoms
+
+    def test_choice_elements_are_possible(self):
+        result = ground("d(1). { pick(X) } :- d(X).")
+        assert parse_atom("pick(1)") in result.atoms
+
+    def test_transitive_closure(self):
+        result = ground(
+            "edge(1, 2). edge(2, 3)."
+            "path(X, Y) :- edge(X, Y)."
+            "path(X, Z) :- path(X, Y), edge(Y, Z)."
+        )
+        assert parse_atom("path(1, 3)") in result.atoms
+
+
+class TestInstantiation:
+    def test_rule_instances_per_binding(self):
+        result = ground("p(1). p(2). q(X) :- p(X).")
+        non_facts = [r for r in result.normal_rules if r.body]
+        assert len(non_facts) == 2
+
+    def test_failed_comparison_drops_instance(self):
+        result = ground("p(1). p(5). q(X) :- p(X), X < 3.")
+        heads = {r.head for r in result.normal_rules if r.head is not None}
+        assert parse_atom("q(1)") in heads
+        assert parse_atom("q(5)") not in heads
+
+    def test_impossible_negative_literal_dropped(self):
+        result = ground("p(a). q(X) :- p(X), not never(X).")
+        rule = next(r for r in result.normal_rules if r.head == parse_atom("q(a)"))
+        assert len(rule.body) == 1  # the `not never(a)` literal was dropped
+
+    def test_possible_negative_literal_kept(self):
+        result = ground("p(a). r(a). q(X) :- p(X), not r(X).")
+        rule = next(r for r in result.normal_rules if r.head == parse_atom("q(a)"))
+        assert len(rule.body) == 2
+
+    def test_arithmetic_evaluated_in_head(self):
+        result = ground("p(1). q(Y) :- p(X), Y = X + 1.")
+        assert parse_atom("q(2)") in result.atoms
+
+    def test_constraints_instantiated(self):
+        result = ground("p(1). p(2). :- p(X), X > 1.")
+        constraints = [r for r in result.normal_rules if r.is_constraint]
+        assert len(constraints) == 1
+
+    def test_annotations_respected_in_matching(self):
+        result = ground("a@1. b :- a@1. c :- a@2.")
+        heads = {r.head for r in result.normal_rules}
+        assert parse_atom("b") in heads
+        assert parse_atom("c") not in heads
+
+    def test_duplicate_instances_deduplicated(self):
+        result = ground("p(a). q :- p(a). q :- p(a).")
+        with_body = [r for r in result.normal_rules if r.body]
+        assert len(with_body) == 1
+
+
+class TestSafety:
+    def test_unsafe_fact_rejected(self):
+        with pytest.raises(UnsafeRuleError):
+            ground("p(X).")
+
+    def test_unsafe_negative_only_rejected(self):
+        with pytest.raises(UnsafeRuleError):
+            ground("p :- not q(X).")
+
+    def test_assignment_makes_variable_safe(self):
+        result = ground("p(1). q(Y) :- p(X), Y = X * 2.")
+        assert parse_atom("q(2)") in result.atoms
+
+    def test_unsafe_head_variable_rejected(self):
+        with pytest.raises(UnsafeRuleError):
+            ground("q(Y) :- p(X). p(1).")
+
+    def test_atom_bomb_guard(self):
+        text = (
+            "n(1..9). p(A, B, C) :- n(A), n(B), n(C)."
+        )
+        with pytest.raises(GroundingError):
+            ground_program(parse_program(text), max_atoms=100)
+
+
+class TestMatching:
+    def test_match_binds_variables(self):
+        theta = match_atom(parse_atom("p(X, a)"), parse_atom("p(1, a)"), {})
+        assert theta == {"X": parse_atom("p(1)").args[0]}
+
+    def test_match_respects_existing_bindings(self):
+        pattern = parse_atom("p(X, X)")
+        assert match_atom(pattern, parse_atom("p(1, 1)"), {}) is not None
+        assert match_atom(pattern, parse_atom("p(1, 2)"), {}) is None
+
+    def test_match_fails_on_predicate_mismatch(self):
+        assert match_atom(parse_atom("p(X)"), parse_atom("q(1)"), {}) is None
+
+    def test_match_fails_on_annotation_mismatch(self):
+        assert match_atom(parse_atom("p(X)@1"), parse_atom("p(1)@2"), {}) is None
+
+    def test_match_nested_function(self):
+        theta = match_atom(parse_atom("p(f(X))"), parse_atom("p(f(q))"), {})
+        assert theta is not None
+        assert repr(theta["X"]) == "q"

@@ -1,0 +1,164 @@
+"""Unit tests for the ASP parser."""
+
+import pytest
+
+from repro.asp.atoms import Atom, Comparison, Literal
+from repro.asp.parser import parse_atom, parse_program, parse_rule, parse_term
+from repro.asp.rules import ChoiceRule, NormalRule
+from repro.asp.terms import ArithTerm, Constant, Function, Integer, Variable
+from repro.errors import ASPSyntaxError
+
+
+class TestTerms:
+    def test_integer(self):
+        assert parse_term("42") == Integer(42)
+
+    def test_negative_integer(self):
+        assert parse_term("-7") == Integer(-7)
+
+    def test_constant(self):
+        assert parse_term("alice") == Constant("alice")
+
+    def test_string_constant(self):
+        assert parse_term('"hello world"') == Constant('"hello world"')
+
+    def test_variable(self):
+        assert parse_term("Subject") == Variable("Subject")
+
+    def test_function(self):
+        assert parse_term("f(X, a)") == Function("f", [Variable("X"), Constant("a")])
+
+    def test_nested_function(self):
+        assert parse_term("f(g(1))") == Function("f", [Function("g", [Integer(1)])])
+
+    def test_tuple(self):
+        term = parse_term("(a, b)")
+        assert isinstance(term, Function)
+        assert term.functor == ""
+        assert term.args == (Constant("a"), Constant("b"))
+
+    def test_parenthesized_single_term_unwraps(self):
+        assert parse_term("(a)") == Constant("a")
+
+    def test_arithmetic_precedence(self):
+        term = parse_term("1 + 2 * 3")
+        assert isinstance(term, ArithTerm)
+        assert term.op == "+"
+        assert term.evaluate() == Integer(7)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ASPSyntaxError):
+            parse_term("a b")
+
+
+class TestAtoms:
+    def test_propositional_atom(self):
+        assert parse_atom("rain") == Atom("rain")
+
+    def test_atom_with_args(self):
+        assert parse_atom("p(X, 1)") == Atom("p", [Variable("X"), Integer(1)])
+
+    def test_annotated_atom(self):
+        atom = parse_atom("a(1)@2")
+        assert atom.annotation == (2,)
+        assert atom.args == (Integer(1),)
+
+    def test_trace_annotation(self):
+        atom = parse_atom("a@(1, 2, 3)")
+        assert atom.annotation == (1, 2, 3)
+
+    def test_annotation_part_of_identity(self):
+        assert parse_atom("a@2") != parse_atom("a@3")
+        assert parse_atom("a@2") != parse_atom("a")
+
+    def test_uppercase_predicate_rejected(self):
+        with pytest.raises(ASPSyntaxError):
+            parse_atom("Pred(x)")
+
+
+class TestRules:
+    def test_fact(self):
+        rule = parse_rule("p(a).")
+        assert isinstance(rule, NormalRule)
+        assert rule.is_fact
+        assert rule.head == Atom("p", [Constant("a")])
+
+    def test_normal_rule(self):
+        rule = parse_rule("p(X) :- q(X), not r(X).")
+        assert rule.head == Atom("p", [Variable("X")])
+        assert rule.body[0] == Literal(Atom("q", [Variable("X")]), True)
+        assert rule.body[1] == Literal(Atom("r", [Variable("X")]), False)
+
+    def test_constraint(self):
+        rule = parse_rule(":- a, b.")
+        assert rule.is_constraint
+        assert len(rule.body) == 2
+
+    def test_comparison_in_body(self):
+        rule = parse_rule("p(X) :- q(X), X < 3.")
+        comp = rule.body[1]
+        assert isinstance(comp, Comparison)
+        assert comp.op == "<"
+
+    def test_assignment_comparison(self):
+        rule = parse_rule("p(Y) :- q(X), Y = X + 1.")
+        comp = rule.body[1]
+        assert isinstance(comp, Comparison)
+        assert comp.op == "=="
+
+    def test_neq_comparison(self):
+        rule = parse_rule(":- p(X), p(Y), X != Y.")
+        assert rule.body[2].op == "!="
+
+    def test_choice_rule_with_bounds(self):
+        rule = parse_rule("1 { a ; b ; c } 2 :- d.")
+        assert isinstance(rule, ChoiceRule)
+        assert rule.lower == 1
+        assert rule.upper == 2
+        assert len(rule.elements) == 3
+        assert len(rule.body) == 1
+
+    def test_choice_rule_unbounded(self):
+        rule = parse_rule("{ a ; b }.")
+        assert rule.lower is None and rule.upper is None
+
+    def test_missing_dot_rejected(self):
+        with pytest.raises(ASPSyntaxError):
+            parse_rule("p(a)")
+
+
+class TestPrograms:
+    def test_multi_rule_program(self):
+        program = parse_program("a. b :- a. :- c.")
+        assert len(program) == 3
+
+    def test_comments_ignored(self):
+        program = parse_program("a. % this is a comment\nb.")
+        assert len(program) == 2
+
+    def test_interval_fact_expansion(self):
+        program = parse_program("p(1..3).")
+        heads = {rule.head for rule in program}
+        assert heads == {Atom("p", [Integer(i)]) for i in (1, 2, 3)}
+
+    def test_interval_in_multi_arg_fact(self):
+        program = parse_program("edge(1..2, 7).")
+        assert len(program) == 2
+
+    def test_empty_program(self):
+        assert len(parse_program("")) == 0
+
+    def test_anonymous_variables_are_fresh(self):
+        rule = parse_rule("p :- q(_, _).")
+        body_atom = rule.body[0].atom
+        assert body_atom.args[0] != body_atom.args[1]
+
+    def test_syntax_error_has_location(self):
+        with pytest.raises(ASPSyntaxError) as err:
+            parse_program("a.\n?b.")
+        assert err.value.line == 2
+
+    def test_roundtrip_through_repr(self):
+        source = "p(X) :- q(X), not r(X), X < 3."
+        rule = parse_rule(source)
+        assert parse_rule(repr(rule)) == rule

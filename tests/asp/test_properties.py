@@ -1,0 +1,138 @@
+"""Property-based tests for the ASP engine (hypothesis).
+
+These check the defining invariants of the answer-set semantics on
+randomly generated propositional programs:
+
+* every answer set is a classical model of the program;
+* every answer set is *stable* (equals the least model of its reduct);
+* answer sets are pairwise incomparable only w.r.t. the same reduct —
+  we check the standard minimality property: no answer set is a proper
+  subset of another answer set of the same *reduct-free* (negation-free)
+  program;
+* adding a constraint never adds answer sets (anti-monotonicity).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asp import parse_program, solve_text
+from repro.asp.atoms import Atom, Literal
+from repro.asp.rules import NormalRule, Program
+from repro.asp.solver import solve
+
+ATOMS = ["a", "b", "c", "d"]
+
+
+@st.composite
+def propositional_rules(draw):
+    head = draw(st.sampled_from(ATOMS + [None]))
+    n_body = draw(st.integers(min_value=0, max_value=3))
+    body = []
+    used = set()
+    for _ in range(n_body):
+        name = draw(st.sampled_from(ATOMS))
+        if name in used:
+            continue
+        used.add(name)
+        positive = draw(st.booleans())
+        body.append(Literal(Atom(name), positive))
+    if head is None and not body:
+        head = draw(st.sampled_from(ATOMS))
+    return NormalRule(Atom(head) if head else None, body)
+
+
+@st.composite
+def propositional_programs(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    return Program([draw(propositional_rules()) for _ in range(n)])
+
+
+def is_classical_model(program, model):
+    for rule in program:
+        body_true = all(
+            (lit.atom in model) == lit.positive for lit in rule.body
+        )
+        if body_true:
+            if rule.head is None or rule.head not in model:
+                return False
+    return True
+
+
+def least_model_of_reduct(program, model):
+    reduct = []
+    for rule in program:
+        if rule.head is None:
+            continue
+        ok = True
+        positive = []
+        for lit in rule.body:
+            if lit.positive:
+                positive.append(lit.atom)
+            elif lit.atom in model:
+                ok = False
+                break
+        if ok:
+            reduct.append((rule.head, positive))
+    least = set()
+    changed = True
+    while changed:
+        changed = False
+        for head, body in reduct:
+            if head not in least and all(b in least for b in body):
+                least.add(head)
+                changed = True
+    return least
+
+
+class TestAnswerSetInvariants:
+    @given(propositional_programs())
+    @settings(max_examples=150, deadline=None)
+    def test_answer_sets_are_classical_models(self, program):
+        for model in solve(program):
+            assert is_classical_model(program, set(model))
+
+    @given(propositional_programs())
+    @settings(max_examples=150, deadline=None)
+    def test_answer_sets_are_stable(self, program):
+        for model in solve(program):
+            assert least_model_of_reduct(program, set(model)) == set(model)
+
+    @given(propositional_programs())
+    @settings(max_examples=100, deadline=None)
+    def test_answer_sets_are_distinct(self, program):
+        models = solve(program)
+        assert len(models) == len(set(models))
+
+    @given(propositional_programs(), st.sampled_from(ATOMS))
+    @settings(max_examples=100, deadline=None)
+    def test_adding_constraint_is_antimonotone(self, program, banned):
+        before = set(solve(program))
+        constrained = Program(list(program) + [NormalRule(None, [Literal(Atom(banned))])])
+        after = set(solve(constrained))
+        assert after <= before
+        for model in after:
+            assert Atom(banned) not in model
+
+    @given(propositional_programs())
+    @settings(max_examples=100, deadline=None)
+    def test_adding_fact_keeps_satisfiability_of_definite_part(self, program):
+        # A program consisting only of definite rules always has exactly
+        # one answer set; adding negation is what creates 0 or many.
+        definite = Program(
+            [
+                NormalRule(r.head, [l for l in r.body if l.positive])
+                for r in program
+                if r.head is not None
+            ]
+        )
+        assert len(solve(definite)) == 1
+
+
+class TestParserSolverAgreement:
+    @given(propositional_programs())
+    @settings(max_examples=100, deadline=None)
+    def test_repr_roundtrip_preserves_answer_sets(self, program):
+        text = "\n".join(repr(rule) for rule in program)
+        direct = {frozenset(str(a) for a in m) for m in solve(program)}
+        reparsed = {frozenset(str(a) for a in m) for m in solve_text(text)}
+        assert direct == reparsed

@@ -1,0 +1,155 @@
+"""Unit tests for the answer-set solver.
+
+Each expected result below is the textbook answer-set semantics; several
+cases (even loops, odd loops, self-support) are the classic examples
+that distinguish answer sets from classical or supported models.
+"""
+
+import pytest
+
+from repro.asp import solve_text
+from repro.asp.parser import parse_atom
+
+
+def answer_sets(text):
+    """Solve and normalize to a sorted list of sorted atom-name lists."""
+    return sorted(sorted(str(a) for a in m) for m in solve_text(text))
+
+
+class TestDefiniteProgram:
+    def test_facts_only(self):
+        assert answer_sets("a. b.") == [["a", "b"]]
+
+    def test_chaining(self):
+        assert answer_sets("a. b :- a. c :- b.") == [["a", "b", "c"]]
+
+    def test_empty_program_has_empty_answer_set(self):
+        assert answer_sets("") == [[]]
+
+    def test_transitive_closure(self):
+        models = answer_sets(
+            "edge(1, 2). edge(2, 3). path(X, Y) :- edge(X, Y)."
+            "path(X, Z) :- path(X, Y), edge(Y, Z)."
+        )
+        assert len(models) == 1
+        assert "path(1, 3)" in models[0]
+
+
+class TestNegation:
+    def test_even_loop_two_answer_sets(self):
+        assert answer_sets("a :- not b. b :- not a.") == [["a"], ["b"]]
+
+    def test_odd_loop_no_answer_set(self):
+        assert answer_sets("a :- not a.") == []
+
+    def test_stratified_negation(self):
+        assert answer_sets("a. c :- not b.") == [["a", "c"]]
+
+    def test_negation_blocked_by_fact(self):
+        assert answer_sets("b. c :- not b.") == [["b"]]
+
+
+class TestStability:
+    def test_self_support_rejected(self):
+        # {a} is a supported model of `a :- a.` but not stable.
+        assert answer_sets("a :- a.") == [[]]
+
+    def test_mutual_support_rejected(self):
+        assert answer_sets("a :- b. b :- a.") == [[]]
+
+    def test_unfounded_loop_under_negation(self):
+        # a :- not b.  b :- a.  — {a, b} would need a, but a requires not b.
+        assert answer_sets("a :- not b. b :- a.") == []
+
+    def test_loop_with_external_support_accepted(self):
+        models = answer_sets("a :- b. b :- a. b :- c. c.")
+        assert models == [["a", "b", "c"]]
+
+
+class TestConstraints:
+    def test_constraint_eliminates_model(self):
+        assert answer_sets("a :- not b. b :- not a. :- a.") == [["b"]]
+
+    def test_unconditional_constraint_violation(self):
+        assert answer_sets("a. :- a.") == []
+
+    def test_constraint_on_pair(self):
+        models = answer_sets("{ a ; b }. :- a, b.")
+        assert models == [[], ["a"], ["b"]]
+
+
+class TestChoiceRules:
+    def test_free_choice_powerset(self):
+        assert answer_sets("{ a ; b }.") == [[], ["a"], ["a", "b"], ["b"]]
+
+    def test_lower_bound(self):
+        assert answer_sets("1 { a ; b }.") == [["a"], ["a", "b"], ["b"]]
+
+    def test_exact_cardinality(self):
+        assert answer_sets("1 { a ; b } 1.") == [["a"], ["b"]]
+
+    def test_conditional_choice(self):
+        models = answer_sets("{ a } :- c.")
+        assert models == [[]]
+        models = answer_sets("c. { a } :- c.")
+        assert models == [["a", "c"], ["c"]]
+
+    def test_choice_with_variables(self):
+        models = answer_sets("d(1..2). 1 { p(X) } 1 :- d(X).")
+        # each d(X) triggers its own singleton choice with bounds 1..1
+        assert models == [["d(1)", "d(2)", "p(1)", "p(2)"]]
+
+    def test_choice_upper_bound_counts_external_support(self):
+        # `a` is forced by a fact; the bound counts it.
+        assert answer_sets("a. { a ; b } 1.") == [["a"]]
+
+
+class TestAnnotatedAtoms:
+    def test_annotated_atoms_distinct(self):
+        models = answer_sets("a@1. b :- a@2.")
+        assert models == [["a@1"]]
+
+    def test_annotated_inference(self):
+        models = answer_sets("a@(1, 2). b@1 :- a@(1, 2).")
+        assert models == [["a@(1, 2)", "b@1"]]
+
+
+class TestMaxModels:
+    def test_max_models_limits_enumeration(self):
+        models = solve_text("{ a ; b ; c }.", max_models=3)
+        assert len(models) == 3
+
+    def test_all_models_by_default(self):
+        assert len(solve_text("{ a ; b ; c }.")) == 8
+
+
+class TestAuxiliaryProjection:
+    def test_choice_aux_atoms_hidden(self):
+        for model in solve_text("{ a }."):
+            assert all(not str(atom).startswith("__") for atom in model)
+
+
+class TestLargerPrograms:
+    def test_graph_coloring(self):
+        text = (
+            "node(1..3). edge(1, 2). edge(2, 3). edge(1, 3)."
+            "color(r). color(g). color(b)."
+            "1 { assign(N, C) : color(C) } 1 :- node(N)."
+        )
+        # conditional elements unsupported: expand manually
+        text = (
+            "node(1..3). edge(1, 2). edge(2, 3). edge(1, 3)."
+            "1 { assign(N, r) ; assign(N, g) ; assign(N, b) } 1 :- node(N)."
+            ":- edge(X, Y), assign(X, C), assign(Y, C)."
+        )
+        models = solve_text(text)
+        assert len(models) == 6  # 3! proper colorings of a triangle
+
+    def test_hamiltonian_style_reachability(self):
+        text = (
+            "node(1..3). edge(1, 2). edge(2, 3). edge(3, 1)."
+            "reach(1). reach(Y) :- reach(X), edge(X, Y)."
+            ":- node(N), not reach(N)."
+        )
+        models = solve_text(text)
+        assert len(models) == 1

@@ -1,0 +1,136 @@
+"""Unit tests for ASP term representation."""
+
+import pytest
+
+from repro.asp.terms import (
+    ArithTerm,
+    Constant,
+    Function,
+    Integer,
+    Variable,
+    make_tuple,
+    term_sort_key,
+)
+from repro.errors import GroundingError
+
+
+class TestGroundness:
+    def test_constant_is_ground(self):
+        assert Constant("a").is_ground()
+
+    def test_integer_is_ground(self):
+        assert Integer(3).is_ground()
+
+    def test_variable_not_ground(self):
+        assert not Variable("X").is_ground()
+
+    def test_function_groundness_follows_args(self):
+        assert Function("f", [Constant("a")]).is_ground()
+        assert not Function("f", [Variable("X")]).is_ground()
+
+    def test_nested_function_groundness(self):
+        inner = Function("g", [Variable("Y")])
+        assert not Function("f", [Constant("a"), inner]).is_ground()
+
+
+class TestEqualityAndHashing:
+    def test_constants_equal_by_name(self):
+        assert Constant("a") == Constant("a")
+        assert Constant("a") != Constant("b")
+
+    def test_constant_not_equal_to_integer(self):
+        assert Constant("1") != Integer(1)
+
+    def test_functions_equal_structurally(self):
+        f1 = Function("f", [Integer(1), Constant("a")])
+        f2 = Function("f", [Integer(1), Constant("a")])
+        assert f1 == f2
+        assert hash(f1) == hash(f2)
+
+    def test_hash_distinguishes_kinds(self):
+        assert hash(Constant("x")) != hash(Variable("x"))
+
+    def test_terms_usable_in_sets(self):
+        terms = {Constant("a"), Constant("a"), Integer(1), Variable("X")}
+        assert len(terms) == 3
+
+
+class TestSubstitution:
+    def test_variable_substitution(self):
+        assert Variable("X").substitute({"X": Integer(5)}) == Integer(5)
+
+    def test_unbound_variable_unchanged(self):
+        assert Variable("X").substitute({"Y": Integer(5)}) == Variable("X")
+
+    def test_function_substitution_recurses(self):
+        term = Function("f", [Variable("X"), Function("g", [Variable("X")])])
+        result = term.substitute({"X": Constant("a")})
+        assert result == Function("f", [Constant("a"), Function("g", [Constant("a")])])
+
+    def test_substitution_does_not_mutate(self):
+        term = Function("f", [Variable("X")])
+        term.substitute({"X": Constant("a")})
+        assert term == Function("f", [Variable("X")])
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "op,expected",
+        [("+", 7), ("-", 3), ("*", 10), ("/", 2), ("\\", 1)],
+    )
+    def test_binary_ops(self, op, expected):
+        term = ArithTerm(op, Integer(5), Integer(2))
+        assert term.evaluate() == Integer(expected)
+
+    def test_nested_arithmetic(self):
+        term = ArithTerm("+", Integer(1), ArithTerm("*", Integer(2), Integer(3)))
+        assert term.evaluate() == Integer(7)
+
+    def test_arithmetic_on_constant_raises(self):
+        with pytest.raises(GroundingError):
+            ArithTerm("+", Constant("a"), Integer(1)).evaluate()
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(GroundingError):
+            ArithTerm("/", Integer(1), Integer(0)).evaluate()
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            ArithTerm("^", Integer(1), Integer(2))
+
+    def test_substitute_then_evaluate(self):
+        term = ArithTerm("+", Variable("X"), Integer(1))
+        assert term.substitute({"X": Integer(4)}).evaluate() == Integer(5)
+
+
+class TestOrdering:
+    def test_integers_before_constants(self):
+        assert term_sort_key(Integer(99)) < term_sort_key(Constant("a"))
+
+    def test_constants_alphabetical(self):
+        assert term_sort_key(Constant("a")) < term_sort_key(Constant("b"))
+
+    def test_functions_by_arity_then_functor(self):
+        f1 = Function("f", [Integer(1)])
+        g2 = Function("a", [Integer(1), Integer(2)])
+        assert term_sort_key(f1) < term_sort_key(g2)
+
+    def test_integer_order_by_value(self):
+        assert term_sort_key(Integer(-5)) < term_sort_key(Integer(3))
+
+
+class TestTuples:
+    def test_tuple_repr(self):
+        assert repr(make_tuple([Constant("a"), Integer(1)])) == "(a, 1)"
+
+    def test_tuple_equality(self):
+        assert make_tuple([Integer(1)]) == make_tuple([Integer(1)])
+
+
+class TestRepr:
+    def test_function_repr(self):
+        term = Function("f", [Variable("X"), Constant("a")])
+        assert repr(term) == "f(X, a)"
+
+    def test_negative_integer_repr(self):
+        assert repr(Integer(-3)) == "-3"

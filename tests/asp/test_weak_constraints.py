@@ -1,0 +1,107 @@
+"""Unit tests for weak constraints and optimal solving."""
+
+import pytest
+
+from repro.asp import (
+    WeakConstraint,
+    parse_program,
+    parse_rule,
+    solve,
+    solve_optimal,
+)
+from repro.asp.grounder import ground_program
+from repro.asp.solver import cost_of
+
+
+class TestParsing:
+    def test_weak_constraint_with_weight(self):
+        rule = parse_rule(":~ a. [3]")
+        assert isinstance(rule, WeakConstraint)
+        assert repr(rule.weight) == "3"
+        assert rule.priority == 0
+
+    def test_weight_and_priority(self):
+        rule = parse_rule(":~ a, not b. [2@5]")
+        assert rule.priority == 5
+        assert len(rule.body) == 2
+
+    def test_variable_weight(self):
+        rule = parse_rule(":~ cost(X). [X]")
+        assert repr(rule.weight) == "X"
+
+    def test_repr_roundtrip(self):
+        rule = parse_rule(":~ a, b. [4@2]")
+        assert parse_rule(repr(rule)) == rule
+
+
+class TestGrounding:
+    def test_instances_per_binding(self):
+        program = parse_program("p(1). p(2). :~ p(X). [X]")
+        ground = ground_program(program)
+        assert len(ground.weak_constraints) == 2
+        weights = sorted(repr(w.weight) for w in ground.weak_constraints)
+        assert weights == ["1", "2"]
+
+    def test_weak_constraints_do_not_affect_answer_sets(self):
+        with_weak = solve(parse_program("{ a }. :~ a. [10]"))
+        without = solve(parse_program("{ a }."))
+        assert {frozenset(map(str, m)) for m in with_weak} == {
+            frozenset(map(str, m)) for m in without
+        }
+
+    def test_duplicate_instances_deduplicated(self):
+        program = parse_program("a. :~ a. [1] :~ a. [1]")
+        ground = ground_program(program)
+        assert len(ground.weak_constraints) == 1
+
+
+class TestOptimization:
+    def test_minimal_cost_model_selected(self):
+        models, cost = solve_optimal(
+            parse_program("1 { a ; b } 1. :~ a. [3] :~ b. [1]")
+        )
+        assert len(models) == 1
+        assert {str(atom) for atom in models[0]} == {"b"}
+        assert cost == ((0, 1),)
+
+    def test_weighted_route_choice(self):
+        models, cost = solve_optimal(
+            parse_program(
+                "1 { route(main) ; route(river) } 1."
+                "risk(main, 5). risk(river, 2)."
+                ":~ route(R), risk(R, W). [W]"
+            )
+        )
+        assert any(str(a) == "route(river)" for a in models[0])
+        assert cost == ((0, 2),)
+
+    def test_priority_levels_are_lexicographic(self):
+        # avoiding `a` (priority 2) matters more than any priority-1 cost
+        models, cost = solve_optimal(
+            parse_program("{ a ; b }. :~ a. [1@2] :~ not b. [5@1]")
+        )
+        assert len(models) == 1
+        assert {str(atom) for atom in models[0]} == {"b"}
+        assert cost == ((2, 0), (1, 0))
+
+    def test_ties_return_all_optima(self):
+        models, cost = solve_optimal(
+            parse_program("1 { a ; b } 1. :~ a. [2] :~ b. [2]")
+        )
+        assert len(models) == 2
+        assert cost == ((0, 2),)
+
+    def test_no_weak_constraints_all_optimal(self):
+        models, cost = solve_optimal(parse_program("{ a }."))
+        assert len(models) == 2
+        assert cost == ()
+
+    def test_unsatisfiable_program(self):
+        models, cost = solve_optimal(parse_program("a. :- a."))
+        assert models == [] and cost == ()
+
+    def test_cost_of_direct(self):
+        program = parse_program("a. b. :~ a. [1@1] :~ not c. [2@1]")
+        ground = ground_program(program)
+        (model,) = solve(program)
+        assert cost_of(ground, model) == ((1, 3),)

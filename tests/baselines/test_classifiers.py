@@ -1,0 +1,131 @@
+"""Unit tests for the shallow-ML baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BernoulliNaiveBayes,
+    DecisionTreeClassifier,
+    KNNClassifier,
+    LogisticRegression,
+    OneHotEncoder,
+)
+
+CLASSIFIERS = [
+    DecisionTreeClassifier,
+    BernoulliNaiveBayes,
+    LogisticRegression,
+    KNNClassifier,
+]
+
+
+def xor_free_dataset(n=200, seed=0):
+    """A linearly-separable one-hot dataset: label = feature 0."""
+    rng = np.random.default_rng(seed)
+    X = rng.integers(0, 2, size=(n, 5)).astype(float)
+    y = X[:, 0].astype(int)
+    return X, y
+
+
+def conjunction_dataset(n=300, seed=1):
+    """label = f0 AND f1 (needs a non-linear-in-one-feature split)."""
+    rng = np.random.default_rng(seed)
+    X = rng.integers(0, 2, size=(n, 4)).astype(float)
+    y = ((X[:, 0] > 0.5) & (X[:, 1] > 0.5)).astype(int)
+    return X, y
+
+
+class TestEncoder:
+    def test_one_hot_shape(self):
+        encoder = OneHotEncoder()
+        rows = [{"color": "red", "n": 1}, {"color": "blue", "n": 2}]
+        matrix = encoder.fit_transform(rows)
+        assert matrix.shape == (2, 4)
+        assert matrix.sum() == 4  # one hot per (feature, row)
+
+    def test_unknown_value_is_all_zero(self):
+        encoder = OneHotEncoder()
+        encoder.fit([{"color": "red"}])
+        matrix = encoder.transform([{"color": "green"}])
+        assert matrix.sum() == 0
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            OneHotEncoder().transform([{"a": 1}])
+
+    def test_feature_names_align(self):
+        encoder = OneHotEncoder()
+        encoder.fit([{"a": "x", "b": "y"}])
+        assert len(encoder.feature_names()) == encoder.n_features
+
+
+class TestAllClassifiers:
+    @pytest.mark.parametrize("cls", CLASSIFIERS)
+    def test_fits_separable_data(self, cls):
+        X, y = xor_free_dataset()
+        model = cls().fit(X[:150], y[:150])
+        accuracy = (model.predict(X[150:]) == y[150:]).mean()
+        assert accuracy >= 0.95
+
+    @pytest.mark.parametrize("cls", CLASSIFIERS)
+    def test_predict_before_fit_raises(self, cls):
+        with pytest.raises(RuntimeError):
+            cls().predict(np.zeros((1, 3)))
+
+    @pytest.mark.parametrize("cls", CLASSIFIERS)
+    def test_predict_shape(self, cls):
+        X, y = xor_free_dataset(50)
+        model = cls().fit(X, y)
+        assert model.predict(X).shape == (50,)
+
+    @pytest.mark.parametrize("cls", [DecisionTreeClassifier, KNNClassifier])
+    def test_conjunction_learnable_by_nonlinear(self, cls):
+        X, y = conjunction_dataset()
+        model = cls().fit(X[:200], y[:200])
+        accuracy = (model.predict(X[200:]) == y[200:]).mean()
+        assert accuracy >= 0.9
+
+    @pytest.mark.parametrize("cls", CLASSIFIERS)
+    def test_single_class_training(self, cls):
+        X = np.ones((10, 3))
+        y = np.zeros(10, dtype=int)
+        model = cls().fit(X, y)
+        assert (model.predict(X) == 0).all()
+
+
+class TestDecisionTree:
+    def test_max_depth_zero_is_majority(self):
+        X, y = xor_free_dataset()
+        tree = DecisionTreeClassifier(max_depth=0).fit(X, y)
+        assert tree.depth() == 0
+        assert len(set(tree.predict(X))) == 1
+
+    def test_depth_grows_with_conjunction(self):
+        X, y = conjunction_dataset()
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.depth() >= 2
+
+
+class TestLogisticRegression:
+    def test_probabilities_in_unit_interval(self):
+        X, y = xor_free_dataset()
+        model = LogisticRegression().fit(X, y)
+        proba = model.predict_proba(X)
+        assert (proba >= 0).all() and (proba <= 1).all()
+
+    def test_extreme_logits_stable(self):
+        model = LogisticRegression().fit(np.eye(2) * 100, np.array([1, 0]))
+        assert np.isfinite(model.predict_proba(np.eye(2) * 100)).all()
+
+
+class TestNaiveBayes:
+    def test_log_proba_shape(self):
+        X, y = xor_free_dataset(30)
+        model = BernoulliNaiveBayes().fit(X, y)
+        assert model.predict_log_proba(X).shape == (30, 2)
+
+    def test_smoothing_handles_unseen(self):
+        X = np.array([[1.0, 0.0]])
+        y = np.array([1])
+        model = BernoulliNaiveBayes().fit(X, y)
+        assert np.isfinite(model.predict_log_proba(np.array([[0.0, 1.0]]))).all()

@@ -1,0 +1,95 @@
+"""Unit tests for GenerativePolicyModel and the Figure 1 workflow."""
+
+import pytest
+
+from repro.asp.atoms import Atom, Literal
+from repro.asp.terms import Constant
+from repro.asg import parse_asg
+from repro.core import Context, GenerativePolicyModel, LabeledExample, learn_gpm, relearn
+from repro.learning import constraint_space
+
+GRAMMAR = """
+policy -> "allow" subject action
+subject -> "alice" { is(alice). }
+subject -> "bob"   { is(bob). }
+action  -> "read"  { is(read). }
+action  -> "write" { is(write). }
+"""
+
+
+def space():
+    pool = [Literal(Atom("is", [Constant(n)], (2,)), True) for n in ("alice", "bob")]
+    pool += [Literal(Atom("is", [Constant(n)], (3,)), True) for n in ("read", "write")]
+    pool += [Literal(Atom("emergency"), s) for s in (True, False)]
+    return constraint_space(pool, prod_ids=(0,), max_body=2)
+
+
+@pytest.fixture
+def model():
+    return GenerativePolicyModel(parse_asg(GRAMMAR))
+
+
+class TestModelBasics:
+    def test_initial_model_accepts_everything_syntactic(self, model):
+        assert model.valid(("allow", "alice", "write"))
+        assert not model.valid(("allow", "alice"))
+
+    def test_generate_enumerates_language(self, model):
+        assert len(model.generate()) == 4
+
+    def test_with_hypothesis_bumps_version(self, model):
+        updated = model.with_hypothesis([])
+        assert updated.version == model.version + 1
+
+    def test_explain_validity_gives_witness(self, model):
+        witness = model.explain_validity(("allow", "bob", "read"))
+        assert witness is not None
+        tree, answer_set = witness
+        assert tree.yield_string() == ("allow", "bob", "read")
+
+
+class TestLearningWorkflow:
+    def test_learn_gpm_applies_examples(self, model):
+        examples = [
+            LabeledExample(("allow", "alice", "read")),
+            LabeledExample(("allow", "bob", "write")),
+            LabeledExample(("allow", "alice", "write"), valid=False),
+        ]
+        learned, result = learn_gpm(model, space(), examples)
+        assert result.violations == 0
+        assert learned.valid(("allow", "alice", "read"))
+        assert not learned.valid(("allow", "alice", "write"))
+        assert learned.version == 1
+
+    def test_context_dependent_learning(self, model):
+        emergency = Context.from_text("emergency.", name="emergency")
+        calm = Context.empty("calm")
+        examples = [
+            LabeledExample(("allow", "bob", "write"), emergency),
+            LabeledExample(("allow", "bob", "write"), calm, valid=False),
+            LabeledExample(("allow", "alice", "read"), calm),
+        ]
+        learned, __ = learn_gpm(model, space(), examples)
+        assert learned.valid(("allow", "bob", "write"), emergency)
+        assert not learned.valid(("allow", "bob", "write"), calm)
+
+    def test_generation_respects_learned_rules(self, model):
+        examples = [
+            LabeledExample(("allow", "alice", "read")),
+            LabeledExample(("allow", "bob", "read")),
+            LabeledExample(("allow", "alice", "write"), valid=False),
+            LabeledExample(("allow", "bob", "write"), valid=False),
+        ]
+        learned, __ = learn_gpm(model, space(), examples)
+        generated = learned.generate()
+        assert ("allow", "alice", "read") in generated
+        assert ("allow", "alice", "write") not in generated
+
+    def test_relearn_folds_in_new_examples(self, model):
+        old = [LabeledExample(("allow", "alice", "read"))]
+        learned, __ = learn_gpm(model, space(), old)
+        new = [LabeledExample(("allow", "bob", "write"), valid=False)]
+        relearned, __ = relearn(learned, space(), old, new)
+        assert relearned.version == learned.version + 1
+        assert relearned.valid(("allow", "alice", "read"))
+        assert not relearned.valid(("allow", "bob", "write"))

@@ -1,0 +1,91 @@
+"""Unit tests for noise injection and the dataset-filtering mitigation."""
+
+import pytest
+
+from repro.datasets import (
+    default_ground_truth,
+    filter_low_quality,
+    inconsistency_rate,
+    inject_flips,
+    inject_not_applicable,
+    sample_log,
+)
+from repro.policy import Decision
+
+
+@pytest.fixture
+def log():
+    return sample_log(default_ground_truth(), 80, seed=11)
+
+
+class TestInjection:
+    def test_flip_rate_roughly_respected(self, log):
+        noisy = inject_flips(log, rate=0.3, seed=1)
+        changed = sum(
+            1 for a, b in zip(log, noisy) if a.decision != b.decision
+        )
+        assert 0.15 * len(log) <= changed <= 0.45 * len(log)
+
+    def test_zero_rate_is_identity(self, log):
+        assert [e.decision for e in inject_flips(log, 0.0)] == [e.decision for e in log]
+
+    def test_not_applicable_injection(self, log):
+        noisy = inject_not_applicable(log, rate=0.25, seed=2)
+        count = sum(1 for e in noisy if e.decision is Decision.NOT_APPLICABLE)
+        assert count > 0
+        assert all(
+            e.decision is Decision.NOT_APPLICABLE or e.decision == orig.decision
+            for e, orig in zip(noisy, log)
+        )
+
+    def test_injection_does_not_mutate_input(self, log):
+        before = [e.decision for e in log]
+        inject_flips(log, 0.5, seed=3)
+        assert [e.decision for e in log] == before
+
+
+class TestFiltering:
+    def test_not_applicable_dropped(self, log):
+        noisy = inject_not_applicable(log, rate=0.3, seed=4)
+        cleaned = filter_low_quality(noisy)
+        assert all(
+            e.decision in (Decision.PERMIT, Decision.DENY) for e in cleaned
+        )
+
+    def test_majority_resolution(self, log):
+        # duplicate the log (consistent) then flip a few in one copy:
+        # majority should restore the originals
+        noisy = list(log) + list(log) + inject_flips(log, rate=0.2, seed=5)
+        cleaned = filter_low_quality(noisy)
+        truth = {e.request.key(): e.decision for e in log}
+        assert cleaned
+        for entry in cleaned:
+            assert entry.decision == truth[entry.request.key()]
+
+    def test_exact_ties_dropped(self, log):
+        entry = log[0]
+        flipped_decision = (
+            Decision.DENY if entry.decision is Decision.PERMIT else Decision.PERMIT
+        )
+        from repro.datasets import LogEntry
+
+        contradictory = [entry, LogEntry(entry.request, flipped_decision)]
+        assert filter_low_quality(contradictory) == []
+
+    def test_clean_log_unchanged_as_set(self, log):
+        cleaned = filter_low_quality(log)
+        assert sorted((e.request.key(), e.decision.value) for e in cleaned) == sorted(
+            (e.request.key(), e.decision.value) for e in log
+        )
+
+
+class TestDiagnostics:
+    def test_clean_log_has_zero_inconsistency(self, log):
+        assert inconsistency_rate(log) == 0.0
+
+    def test_flips_raise_inconsistency(self, log):
+        doubled = list(log) + inject_flips(log, rate=0.5, seed=6)
+        assert inconsistency_rate(doubled) > 0.2
+
+    def test_empty_log(self):
+        assert inconsistency_rate([]) == 0.0

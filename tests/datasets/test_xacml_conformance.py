@@ -1,0 +1,119 @@
+"""Unit tests for the synthetic XACML conformance generator."""
+
+import pytest
+
+from repro.datasets import (
+    USER_ROLES,
+    decision_for,
+    default_ground_truth,
+    default_schema,
+    entry_to_example,
+    per_user_ground_truth,
+    request_to_context,
+    sample_log,
+)
+from repro.policy import Decision, Request
+
+
+class TestGroundTruth:
+    def test_dba_can_write_db(self):
+        request = Request(
+            {
+                "subject": {"id": "u1", "role": "dba"},
+                "action": {"id": "write"},
+                "resource": {"type": "db"},
+            }
+        )
+        assert decision_for(default_ground_truth(), request) is Decision.PERMIT
+
+    def test_guest_denied(self):
+        request = Request(
+            {
+                "subject": {"id": "u5", "role": "guest"},
+                "action": {"id": "read"},
+                "resource": {"type": "db"},
+            }
+        )
+        assert decision_for(default_ground_truth(), request) is Decision.DENY
+
+    def test_dev_reads_but_not_writes(self):
+        base = {
+            "subject": {"id": "u3", "role": "dev"},
+            "resource": {"type": "file"},
+        }
+        read = Request({**base, "action": {"id": "read"}})
+        write = Request({**base, "action": {"id": "write"}})
+        gt = default_ground_truth()
+        assert decision_for(gt, read) is Decision.PERMIT
+        assert decision_for(gt, write) is Decision.DENY
+
+    def test_per_user_grants(self):
+        gt = per_user_ground_truth(["u1"])
+        granted = Request(
+            {
+                "subject": {"id": "u1", "role": "dba"},
+                "action": {"id": "write"},
+                "resource": {"type": "db"},
+            }
+        )
+        sibling = Request(
+            {
+                "subject": {"id": "u2", "role": "dba"},
+                "action": {"id": "write"},
+                "resource": {"type": "db"},
+            }
+        )
+        assert decision_for(gt, granted) is Decision.PERMIT
+        assert decision_for(gt, sibling) is Decision.DENY
+
+
+class TestSampling:
+    def test_log_size_and_determinism(self):
+        gt = default_ground_truth()
+        log1 = sample_log(gt, 25, seed=7)
+        log2 = sample_log(gt, 25, seed=7)
+        assert len(log1) == 25
+        assert [e.request for e in log1] == [e.request for e in log2]
+
+    def test_roles_coherent_with_users(self):
+        for entry in sample_log(default_ground_truth(), 50, seed=3):
+            user = entry.request.get("subject", "id")
+            assert entry.request.get("subject", "role") == USER_ROLES[user]
+
+    def test_user_restriction(self):
+        log = sample_log(default_ground_truth(), 30, seed=1, users=("u1", "u5"))
+        assert {e.request.get("subject", "id") for e in log} <= {"u1", "u5"}
+
+    def test_decisions_match_ground_truth(self):
+        gt = default_ground_truth()
+        for entry in sample_log(gt, 40, seed=5):
+            assert entry.decision == decision_for(gt, entry.request)
+
+
+class TestConversion:
+    def test_request_to_context_facts(self):
+        request = Request(
+            {
+                "subject": {"id": "u1", "role": "dba"},
+                "action": {"id": "read"},
+                "resource": {"type": "db"},
+            }
+        )
+        program = request_to_context(request)
+        facts = {repr(f) for f in program.facts()}
+        assert facts == {"user(u1)", "role(dba)", "action(read)", "rtype(db)"}
+
+    def test_entry_to_example_inclusions(self):
+        gt = default_ground_truth()
+        entry = sample_log(gt, 1, seed=2)[0]
+        example = entry_to_example(entry)
+        included = next(iter(example.inclusions))
+        assert included.predicate == "decision"
+        assert len(example.exclusions) == 2
+
+    def test_schema_covers_sampled_requests(self):
+        schema = default_schema()
+        for entry in sample_log(default_ground_truth(), 20, seed=9):
+            for category, attribute, value in entry.request.items():
+                domain = schema.domain(category, attribute)
+                assert domain is not None and domain.contains(value)

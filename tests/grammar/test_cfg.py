@@ -1,0 +1,89 @@
+"""Unit tests for CFG construction and the grammar text format."""
+
+import pytest
+
+from repro.errors import GrammarError, GrammarSyntaxError
+from repro.grammar import CFG, Production, parse_cfg
+
+POLICY_GRAMMAR = """
+policy  -> "allow" subject action | "deny" subject action
+subject -> "alice" | "bob"
+action  -> "read" | "write"
+"""
+
+
+class TestConstruction:
+    def test_production_ids_sequential(self):
+        grammar = parse_cfg(POLICY_GRAMMAR)
+        assert [p.prod_id for p in grammar.productions] == list(range(6))
+
+    def test_start_is_first_lhs(self):
+        assert parse_cfg(POLICY_GRAMMAR).start == "policy"
+
+    def test_terminals_and_nonterminals_disjoint(self):
+        grammar = parse_cfg(POLICY_GRAMMAR)
+        assert not (grammar.terminals & grammar.nonterminals)
+
+    def test_productions_for(self):
+        grammar = parse_cfg(POLICY_GRAMMAR)
+        assert len(grammar.productions_for("subject")) == 2
+
+    def test_unknown_symbol_rejected(self):
+        with pytest.raises(GrammarError):
+            CFG({"s"}, {"a"}, [Production("s", ["mystery"])], "s")
+
+    def test_start_must_be_nonterminal(self):
+        with pytest.raises(GrammarError):
+            CFG({"s"}, {"a"}, [Production("s", ["a"])], "a")
+
+    def test_nonterminal_without_production_rejected(self):
+        with pytest.raises(GrammarError):
+            CFG({"s", "t"}, {"a"}, [Production("s", ["a"])], "s")
+
+    def test_overlapping_symbol_sets_rejected(self):
+        with pytest.raises(GrammarError):
+            CFG({"s"}, {"s"}, [Production("s", [])], "s")
+
+
+class TestTextFormat:
+    def test_undefined_nonterminal_message(self):
+        with pytest.raises(GrammarSyntaxError):
+            parse_cfg('s -> thing')
+
+    def test_comments_stripped(self):
+        grammar = parse_cfg('s -> "a"  # trailing comment\n# whole-line comment')
+        assert len(grammar.productions) == 1
+
+    def test_epsilon_production(self):
+        grammar = parse_cfg('s -> "a" s | eps')
+        assert any(not p.rhs for p in grammar.productions)
+
+    def test_continuation_lines(self):
+        grammar = parse_cfg('s -> "a"\n  | "b"')
+        assert len(grammar.productions) == 2
+
+    def test_empty_grammar_rejected(self):
+        with pytest.raises(GrammarSyntaxError):
+            parse_cfg("   \n  # only comments\n")
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(GrammarSyntaxError):
+            parse_cfg('s "a"')
+
+
+class TestHelpers:
+    def test_nullable_set(self):
+        grammar = parse_cfg('s -> a b\na -> "x" | eps\nb -> "y" | eps')
+        assert grammar.nullable_set() == {"s", "a", "b"}
+
+    def test_nullable_empty_when_no_epsilon(self):
+        assert parse_cfg(POLICY_GRAMMAR).nullable_set() == set()
+
+    def test_tokenize_valid(self):
+        grammar = parse_cfg(POLICY_GRAMMAR)
+        assert grammar.tokenize("allow alice read") == ("allow", "alice", "read")
+
+    def test_tokenize_unknown_token_rejected(self):
+        grammar = parse_cfg(POLICY_GRAMMAR)
+        with pytest.raises(GrammarError):
+            grammar.tokenize("allow eve read")

@@ -1,0 +1,64 @@
+"""Unit tests for language enumeration."""
+
+import pytest
+
+from repro.grammar import generate_strings, generate_trees, parse_cfg
+
+POLICY = parse_cfg(
+    """
+policy  -> "allow" subject action | "deny" subject action
+subject -> "alice" | "bob"
+action  -> "read" | "write"
+"""
+)
+
+
+class TestFiniteLanguage:
+    def test_full_enumeration(self):
+        strings = set(generate_strings(POLICY))
+        assert len(strings) == 8
+
+    def test_strings_are_distinct(self):
+        strings = list(generate_strings(POLICY))
+        assert len(strings) == len(set(strings))
+
+    def test_max_strings_cap(self):
+        assert len(list(generate_strings(POLICY, max_strings=3))) == 3
+
+
+class TestInfiniteLanguage:
+    def test_length_bound_respected(self):
+        grammar = parse_cfg('s -> "a" s | "a"')
+        strings = list(generate_strings(grammar, max_length=4))
+        assert all(len(s) <= 4 for s in strings)
+        assert len(strings) == 4
+
+    def test_shortest_first(self):
+        grammar = parse_cfg('s -> "a" s | "a"')
+        lengths = [len(s) for s in generate_strings(grammar, max_length=5)]
+        assert lengths == sorted(lengths)
+
+    def test_epsilon_string_generated(self):
+        grammar = parse_cfg('s -> "a" s | eps')
+        strings = list(generate_strings(grammar, max_length=2))
+        assert () in strings
+
+    def test_unreachable_length_yields_nothing(self):
+        grammar = parse_cfg('s -> "a" "b" "c"')
+        assert list(generate_strings(grammar, max_length=2)) == []
+
+
+class TestTrees:
+    def test_tree_yields_match_strings(self):
+        for tree in generate_trees(POLICY, max_trees=8):
+            assert len(tree.yield_string()) == 3
+
+    def test_trees_carry_productions(self):
+        tree = next(generate_trees(POLICY))
+        assert tree.production is not None
+        assert tree.production.lhs == "policy"
+
+    def test_depth_and_size(self):
+        tree = next(generate_trees(POLICY))
+        assert tree.depth() == 3  # policy -> subject/action -> terminal
+        assert tree.size() == 1 + 3 + 2  # root + 3 symbols + 2 leaves

@@ -1,0 +1,79 @@
+"""Property-based tests for the grammar substrate.
+
+Invariants:
+
+* every enumerated string is recognized by Earley, and has ≥1 parse tree;
+* every extracted parse tree yields the input string and respects the
+  production structure;
+* random strings over the terminal alphabet agree between the Earley
+  recognizer and the tree extractor (both accept or both reject).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.grammar import generate_strings, parse_cfg, parse_trees, recognize
+
+GRAMMARS = [
+    parse_cfg('s -> "a" s "b" | eps'),            # a^n b^n
+    parse_cfg('s -> s s | "(" s ")" | eps'),      # balanced parens (ambiguous)
+    parse_cfg('e -> e "+" t | t\nt -> "x" | "(" e ")"'),  # arithmetic
+    parse_cfg(
+        'policy -> "allow" who | "deny" who\nwho -> "alice" | "bob" | "carol"'
+    ),
+]
+
+
+@st.composite
+def grammar_and_string(draw):
+    grammar = draw(st.sampled_from(GRAMMARS))
+    alphabet = sorted(grammar.terminals)
+    length = draw(st.integers(min_value=0, max_value=6))
+    tokens = tuple(draw(st.sampled_from(alphabet)) for _ in range(length))
+    return grammar, tokens
+
+
+class TestRecognizerExtractorAgreement:
+    @given(grammar_and_string())
+    @settings(max_examples=200, deadline=None)
+    def test_recognizer_matches_extractor(self, pair):
+        grammar, tokens = pair
+        recognized = recognize(grammar, tokens)
+        trees = parse_trees(grammar, tokens, max_trees=64)
+        assert recognized == bool(trees)
+
+    @given(grammar_and_string())
+    @settings(max_examples=200, deadline=None)
+    def test_trees_yield_input(self, pair):
+        grammar, tokens = pair
+        for tree in parse_trees(grammar, tokens, max_trees=16):
+            assert tree.yield_string() == tokens
+
+    @given(grammar_and_string())
+    @settings(max_examples=100, deadline=None)
+    def test_tree_children_match_production(self, pair):
+        grammar, tokens = pair
+        for tree in parse_trees(grammar, tokens, max_trees=8):
+            for node, __ in tree.interior_nodes():
+                assert node.production is not None
+                assert tuple(c.symbol for c in node.children) == node.production.rhs
+
+
+class TestGenerationSoundness:
+    @pytest.mark.parametrize("grammar", GRAMMARS)
+    def test_generated_strings_recognized(self, grammar):
+        for string in generate_strings(grammar, max_length=6, max_strings=40):
+            assert recognize(grammar, string)
+
+    @pytest.mark.parametrize("grammar", GRAMMARS)
+    def test_generation_is_exhaustive_up_to_length(self, grammar):
+        """Brute-force check: every string over the alphabet up to length 4
+        accepted by Earley is also enumerated by the generator."""
+        import itertools
+
+        generated = set(generate_strings(grammar, max_length=4, max_strings=10_000))
+        alphabet = sorted(grammar.terminals)
+        for length in range(0, 5):
+            for candidate in itertools.product(alphabet, repeat=length):
+                if recognize(grammar, candidate):
+                    assert candidate in generated

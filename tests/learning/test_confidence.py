@@ -1,0 +1,81 @@
+"""Unit tests for rule-confidence scoring (Sections IV.C / V.C)."""
+
+import pytest
+
+from repro.asp.atoms import Atom, Literal
+from repro.asp.terms import Constant
+from repro.asg import parse_asg
+from repro.learning import ASGLearningTask, ContextExample, constraint_space, learn
+from repro.learning.confidence import RuleConfidence, score_hypothesis
+
+GRAMMAR = """
+policy -> "allow" subject action
+subject -> "alice" { is(alice). }
+subject -> "bob"   { is(bob). }
+action  -> "read"  { is(read). }
+action  -> "write" { is(write). }
+"""
+
+
+def make_task(positive, negative):
+    asg = parse_asg(GRAMMAR)
+    pool = [Literal(Atom("is", [Constant(n)], (2,)), True) for n in ("alice", "bob")]
+    pool += [Literal(Atom("is", [Constant(n)], (3,)), True) for n in ("read", "write")]
+    return ASGLearningTask(asg, constraint_space(pool, prod_ids=(0,), max_body=2), positive, negative)
+
+
+class TestScoring:
+    def test_necessary_rule_has_support(self):
+        task = make_task(
+            positive=[ContextExample.from_text("allow alice read")],
+            negative=[ContextExample.from_text("allow alice write")],
+        )
+        result = learn(task)
+        scores = score_hypothesis(task, result.candidates)
+        assert len(scores) == 1
+        assert scores[0].necessary
+        assert scores[0].support >= 1
+        assert scores[0].confidence > 0.5
+
+    def test_redundant_rule_flagged_unnecessary(self):
+        task = make_task(
+            positive=[ContextExample.from_text("allow alice read")],
+            negative=[ContextExample.from_text("allow alice write")],
+        )
+        result = learn(task)
+        # add a second copy of the same semantic work: a broader rule
+        from repro.learning import CandidateRule
+        from repro.asp.parser import parse_rule
+
+        redundant = CandidateRule(parse_rule(":- is(write)@3."), prod_id=0)
+        scores = score_hypothesis(task, list(result.candidates) + [redundant])
+        by_text = {s.rule_text: s for s in scores}
+        # the original narrow rule no longer changes any outcome
+        original = result.candidates[0]
+        assert not by_text[repr(original.rule)].necessary
+
+    def test_weighted_examples_scale_support(self):
+        heavy = ContextExample(("allow", "bob", "write"), weight=5)
+        task = make_task(
+            positive=[ContextExample.from_text("allow alice read")],
+            negative=[heavy],
+        )
+        result = learn(task)
+        scores = score_hypothesis(task, result.candidates)
+        assert scores[0].support >= 5
+
+    def test_empty_hypothesis_scores_empty(self):
+        task = make_task(
+            positive=[ContextExample.from_text("allow alice read")], negative=[]
+        )
+        assert score_hypothesis(task, []) == []
+
+    def test_confidence_is_smoothed_probability(self):
+        task = make_task(
+            positive=[ContextExample.from_text("allow alice read")],
+            negative=[ContextExample.from_text("allow bob write")],
+        )
+        result = learn(task)
+        scores = score_hypothesis(task, result.candidates)
+        for score in scores:
+            assert 0.0 < score.confidence < 1.0

@@ -1,0 +1,88 @@
+"""Tests for statistical search guidance (Section V.C)."""
+
+import pytest
+
+from repro.asp.atoms import Atom, Literal
+from repro.asp.parser import parse_rule
+from repro.asp.terms import Constant
+from repro.learning import CandidateRule, constraint_space
+from repro.learning.guidance import SearchGuidance, rule_features
+
+
+def candidate(text, prod_id=0):
+    return CandidateRule(parse_rule(text), prod_id=prod_id)
+
+
+class TestRuleFeatures:
+    def test_shape_features(self):
+        features = rule_features(candidate(":- is(alice)@2, not emergency."))
+        assert features["body_len"] == 2
+        assert features["n_negative"] == 1
+        assert features["is_constraint"] is True
+        assert features["pred:is"] is True
+        assert features["pred:emergency"] is True
+        assert features["ann:2"] is True
+
+    def test_head_predicate_feature(self):
+        features = rule_features(candidate("permit :- weekend."))
+        assert features["is_constraint"] is False
+        assert features["head_pred"] == "permit"
+
+    def test_no_constants_leak(self):
+        features = rule_features(candidate(":- is(alice)@2."))
+        assert not any("alice" in key for key in features)
+
+
+class TestGuidance:
+    def _episodes(self, guidance):
+        """Simulated history: solutions always pair an @2 attribute with
+        an @3 attribute (two-literal cross-position constraints win)."""
+        pool = []
+        for name in ("alice", "bob"):
+            pool.append(Literal(Atom("is", [Constant(name)], (2,)), True))
+        for name in ("read", "write"):
+            pool.append(Literal(Atom("is", [Constant(name)], (3,)), True))
+        pool.append(Literal(Atom("emergency"), True))
+        space = constraint_space(pool, prod_ids=(0,), max_body=2)
+        winners = [
+            c
+            for c in space
+            if len(c.rule.body) == 2
+            and {lit.atom.annotation for lit in c.rule.body} == {(2,), (3,)}
+        ]
+        for winner in winners:
+            guidance.record_episode(space, [winner])
+        return space, winners
+
+    def test_ordering_prefers_solution_shapes(self):
+        guidance = SearchGuidance()
+        space, winners = self._episodes(guidance)
+        ordered = guidance.order(space, respect_cost=False)
+        top = ordered[: len(winners)]
+        winner_keys = {w.key() for w in winners}
+        hits = sum(1 for c in top if c.key() in winner_keys)
+        assert hits >= len(winners) - 1  # nearly all winners ranked first
+
+    def test_cost_respected_by_default(self):
+        guidance = SearchGuidance()
+        space, __ = self._episodes(guidance)
+        ordered = guidance.order(space)
+        costs = [c.cost for c in ordered]
+        assert costs == sorted(costs)
+
+    def test_score_shape(self):
+        guidance = SearchGuidance()
+        space, __ = self._episodes(guidance)
+        scores = guidance.score(space)
+        assert len(scores) == len(space)
+        assert all(0.0 <= s <= 1.0 for s in scores)
+
+    def test_unfitted_guidance_raises(self):
+        guidance = SearchGuidance()
+        with pytest.raises(RuntimeError):
+            guidance.score([candidate(":- a.")])
+
+    def test_record_counts(self):
+        guidance = SearchGuidance()
+        space, __ = self._episodes(guidance)
+        assert guidance.n_examples > len(space)

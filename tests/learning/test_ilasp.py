@@ -1,0 +1,182 @@
+"""Unit tests for the ILASP-style learner on Definition 3 tasks."""
+
+import pytest
+
+from repro.asp import parse_program, parse_rule
+from repro.asp.atoms import Atom, Literal
+from repro.asp.terms import Constant
+from repro.asg import accepts, parse_asg
+from repro.errors import UnsatisfiableTaskError
+from repro.learning import (
+    ASGLearningTask,
+    ContextExample,
+    ILASPLearner,
+    constraint_space,
+    learn,
+)
+
+GRAMMAR = """
+policy -> "allow" subject action
+policy -> "deny" subject action
+subject -> "alice" { is(alice). }
+subject -> "bob"   { is(bob). }
+action  -> "read"  { is(read). }
+action  -> "write" { is(write). }
+"""
+
+
+def attribute_pool(include_context=()):
+    pool = []
+    for name in ("alice", "bob"):
+        pool.append(Literal(Atom("is", [Constant(name)], (2,)), True))
+    for name in ("read", "write"):
+        pool.append(Literal(Atom("is", [Constant(name)], (3,)), True))
+    for ctx in include_context:
+        pool.append(Literal(Atom(ctx), True))
+        pool.append(Literal(Atom(ctx), False))
+    return pool
+
+
+@pytest.fixture
+def asg():
+    return parse_asg(GRAMMAR)
+
+
+class TestBasicLearning:
+    def test_learns_single_constraint(self, asg):
+        space = constraint_space(attribute_pool(), prod_ids=(0,), max_body=2)
+        task = ASGLearningTask(
+            asg,
+            space,
+            positive=[
+                ContextExample.from_text("allow alice read"),
+                ContextExample.from_text("allow bob write"),
+            ],
+            negative=[ContextExample.from_text("allow alice write")],
+        )
+        result = learn(task)
+        assert result.cost == 2
+        assert repr(result.candidates[0].rule) == ":- is(alice)@2, is(write)@3."
+
+    def test_empty_hypothesis_when_examples_trivial(self, asg):
+        space = constraint_space(attribute_pool(), prod_ids=(0,), max_body=2)
+        task = ASGLearningTask(
+            asg, space, positive=[ContextExample.from_text("allow alice read")], negative=[]
+        )
+        result = learn(task)
+        assert result.candidates == []
+        assert result.cost == 0
+
+    def test_learned_grammar_satisfies_all_examples(self, asg):
+        space = constraint_space(attribute_pool(), prod_ids=(0, 1), max_body=2)
+        positive = [
+            ContextExample.from_text("allow alice read"),
+            ContextExample.from_text("deny alice write"),
+            ContextExample.from_text("allow bob write"),
+        ]
+        negative = [
+            ContextExample.from_text("allow alice write"),
+            ContextExample.from_text("deny bob read"),
+        ]
+        result = learn(ASGLearningTask(asg, space, positive, negative))
+        learned = asg.with_rules(result.rules)
+        for example in positive:
+            assert accepts(learned, example.tokens)
+        for example in negative:
+            assert not accepts(learned, example.tokens)
+
+    def test_minimality(self, asg):
+        # Two negatives requiring two distinct constraints: cost must be 4,
+        # not more (no redundant third rule).
+        space = constraint_space(attribute_pool(), prod_ids=(0,), max_body=2)
+        positive = [
+            ContextExample.from_text("allow alice read"),
+            ContextExample.from_text("allow bob write"),
+        ]
+        negative = [
+            ContextExample.from_text("allow alice write"),
+            ContextExample.from_text("allow bob read"),
+        ]
+        result = learn(ASGLearningTask(asg, space, positive, negative))
+        assert result.cost == 4
+        assert len(result.candidates) == 2
+
+
+class TestContextDependentLearning:
+    def test_learns_context_conditioned_constraint(self, asg):
+        space = constraint_space(
+            attribute_pool(include_context=("emergency",)), prod_ids=(0,), max_body=3
+        )
+        positive = [
+            ContextExample.from_text("allow bob read", "emergency."),
+            ContextExample.from_text("allow alice read"),
+        ]
+        negative = [
+            ContextExample.from_text("allow bob read"),  # no emergency: forbidden
+        ]
+        result = learn(ASGLearningTask(asg, space, positive, negative))
+        learned = asg.with_rules(result.rules)
+        emergency = parse_program("emergency.")
+        assert accepts(learned.with_context(emergency), ("allow", "bob", "read"))
+        assert not accepts(learned, ("allow", "bob", "read"))
+        assert accepts(learned, ("allow", "alice", "read"))
+
+
+class TestUnsatisfiableTasks:
+    def test_contradictory_examples_unsat(self, asg):
+        space = constraint_space(attribute_pool(), prod_ids=(0,), max_body=2)
+        same = ContextExample.from_text("allow alice read")
+        task = ASGLearningTask(asg, space, positive=[same], negative=[same])
+        with pytest.raises(UnsatisfiableTaskError):
+            learn(task)
+
+    def test_negative_with_empty_space_unsat(self, asg):
+        task = ASGLearningTask(
+            asg, [], positive=[], negative=[ContextExample.from_text("allow alice read")]
+        )
+        with pytest.raises(UnsatisfiableTaskError):
+            learn(task)
+
+
+class TestNoiseTolerance:
+    def test_contradiction_resolved_with_violation_budget(self, asg):
+        space = constraint_space(attribute_pool(), prod_ids=(0,), max_body=2)
+        clean_pos = [
+            ContextExample.from_text("allow alice read"),
+            ContextExample.from_text("allow bob write"),
+        ]
+        noisy_neg = [
+            ContextExample.from_text("allow alice write"),
+            # noisy negative that contradicts a positive:
+            ContextExample.from_text("allow alice read"),
+        ]
+        task = ASGLearningTask(asg, space, clean_pos, noisy_neg)
+        with pytest.raises(UnsatisfiableTaskError):
+            learn(task)
+        result = learn(task, max_violations=1)
+        assert result.violations == 1
+        learned = asg.with_rules(result.rules)
+        # the unambiguous examples must still be honoured
+        assert not accepts(learned, ("allow", "alice", "write"))
+        assert accepts(learned, ("allow", "bob", "write"))
+
+    def test_weighted_examples_steer_violations(self, asg):
+        space = constraint_space(attribute_pool(), prod_ids=(0,), max_body=2)
+        heavy = ContextExample.from_text("allow alice read", weight=5)
+        light_conflict = ContextExample(("allow", "alice", "read"), weight=1)
+        task = ASGLearningTask(asg, space, [heavy], [light_conflict])
+        result = learn(task, max_violations=1)
+        # Violating the light negative (weight 1) is within budget;
+        # violating the heavy positive (weight 5) would not be.
+        assert result.violations == 1
+
+
+class TestLearnerStatistics:
+    def test_checks_counted(self, asg):
+        space = constraint_space(attribute_pool(), prod_ids=(0,), max_body=1)
+        task = ASGLearningTask(
+            asg, space, [ContextExample.from_text("allow alice read")], []
+        )
+        result = learn(task)
+        assert result.checks > 0
+        assert result.elapsed >= 0

@@ -1,0 +1,57 @@
+"""Unit tests for learning metrics."""
+
+import pytest
+
+from repro.learning import accuracy, confusion, learning_curve, precision_recall_f1
+
+
+class TestConfusion:
+    def test_counts(self):
+        predictions = [True, True, False, False]
+        labels = [True, False, True, False]
+        counts = confusion(predictions, labels)
+        assert counts == {"tp": 1, "fp": 1, "fn": 1, "tn": 1}
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            confusion([True], [True, False])
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy([True, False], [True, False]) == 1.0
+
+    def test_half(self):
+        assert accuracy([True, True], [True, False]) == 0.5
+
+    def test_empty_is_one(self):
+        assert accuracy([], []) == 1.0
+
+
+class TestPrecisionRecall:
+    def test_values(self):
+        predictions = [True, True, False]
+        labels = [True, False, True]
+        precision, recall, f1 = precision_recall_f1(predictions, labels)
+        assert precision == 0.5
+        assert recall == 0.5
+        assert f1 == 0.5
+
+    def test_degenerate_no_positives(self):
+        precision, recall, __ = precision_recall_f1([False], [False])
+        assert precision == 1.0 and recall == 1.0
+
+
+class TestLearningCurve:
+    def test_curve_calls_trainer_per_size(self):
+        labels = [True, False, True]
+        calls = []
+
+        def train_and_predict(n):
+            calls.append(n)
+            # a fake learner that gets everything right from n >= 2
+            return labels if n >= 2 else [False, False, False]
+
+        curve = learning_curve(train_and_predict, labels, [1, 2, 4])
+        assert calls == [1, 2, 4]
+        assert curve[0][1] < curve[1][1] == curve[2][1] == 1.0

@@ -1,0 +1,147 @@
+"""Unit tests for hypothesis-space generation."""
+
+import pytest
+
+from repro.asp.atoms import Atom, Literal
+from repro.asp.parser import parse_atom
+from repro.asp.terms import Constant, Variable
+from repro.errors import LearningError
+from repro.learning import CandidateRule, ModeAtom, ModeBias, Placeholder, constraint_space
+
+
+def lit(text, positive=True):
+    return Literal(parse_atom(text), positive)
+
+
+class TestConstraintSpace:
+    def test_singleton_constraints(self):
+        space = constraint_space([lit("a"), lit("b")], max_body=1)
+        assert len(space) == 2
+        assert all(c.rule.head is None for c in space)
+
+    def test_pairs_included_at_max_body_two(self):
+        space = constraint_space([lit("a"), lit("b")], max_body=2)
+        assert len(space) == 3  # {a}, {b}, {a, b}
+
+    def test_contradictory_bodies_excluded(self):
+        space = constraint_space([lit("a"), lit("a", False)], max_body=2)
+        # :- a.  :- not a.  but never :- a, not a.
+        assert len(space) == 2
+
+    def test_prod_id_expansion(self):
+        space = constraint_space([lit("a")], prod_ids=(0, 1), max_body=1)
+        assert {c.prod_id for c in space} == {0, 1}
+
+    def test_cost_equals_body_length(self):
+        space = constraint_space([lit("a"), lit("b")], max_body=2)
+        costs = sorted(c.cost for c in space)
+        assert costs == [1, 1, 2]
+
+    def test_space_cap_enforced(self):
+        pool = [lit(f"p{i}") for i in range(30)]
+        with pytest.raises(LearningError):
+            constraint_space(pool, max_body=3, max_space=100)
+
+    def test_unsafe_negative_variable_excluded(self):
+        pool = [Literal(Atom("p", [Variable("X")]), False)]
+        assert constraint_space(pool, max_body=1) == []
+
+
+class TestModeBias:
+    def test_placeholder_expansion(self):
+        bias = ModeBias(
+            body_modes=[ModeAtom(Atom("role", [Placeholder("role")]))],
+            pools={"role": [Constant("dba"), Constant("dev")]},
+            max_body=1,
+            allow_negation=False,
+        )
+        space = bias.generate()
+        bodies = {repr(c.rule.body[0]) for c in space}
+        assert bodies == {"role(dba)", "role(dev)"}
+
+    def test_missing_pool_raises(self):
+        bias = ModeBias(
+            body_modes=[ModeAtom(Atom("role", [Placeholder("nope")]))], max_body=1
+        )
+        with pytest.raises(LearningError):
+            bias.generate()
+
+    def test_heads_from_modeh(self):
+        bias = ModeBias(
+            head_modes=[ModeAtom(Atom("permit"))],
+            body_modes=[ModeAtom(Atom("weekend"))],
+            max_body=1,
+            allow_constraints=False,
+            allow_negation=False,
+        )
+        space = bias.generate()
+        assert len(space) == 1
+        assert repr(space[0].rule) == "permit :- weekend."
+
+    def test_constraints_and_rules_mixed(self):
+        bias = ModeBias(
+            head_modes=[ModeAtom(Atom("permit"))],
+            body_modes=[ModeAtom(Atom("weekend"))],
+            max_body=1,
+            allow_negation=False,
+        )
+        heads = {repr(c.rule) for c in bias.generate()}
+        assert heads == {"permit :- weekend.", ":- weekend."}
+
+    def test_tautology_excluded(self):
+        bias = ModeBias(
+            head_modes=[ModeAtom(Atom("a"))],
+            body_modes=[ModeAtom(Atom("a"))],
+            max_body=1,
+            allow_constraints=False,
+            allow_negation=False,
+        )
+        assert bias.generate() == []
+
+    def test_negation_doubles_body_pool(self):
+        with_neg = ModeBias(body_modes=[ModeAtom(Atom("a"))], max_body=1)
+        without = ModeBias(
+            body_modes=[ModeAtom(Atom("a"))], max_body=1, allow_negation=False
+        )
+        assert len(with_neg.generate()) == 2 * len(without.generate())
+
+    def test_annotated_mode_atoms(self):
+        mode = ModeAtom(Atom("is", [Constant("alice")]), annotations=(1, 2))
+        atoms = mode.instantiate({})
+        assert {a.annotation for a in atoms} == {(1,), (2,)}
+
+    def test_unsafe_head_variable_excluded(self):
+        bias = ModeBias(
+            head_modes=[ModeAtom(Atom("p", [Variable("X")]))],
+            body_modes=[ModeAtom(Atom("q"))],
+            max_body=1,
+            allow_constraints=False,
+            allow_negation=False,
+        )
+        assert bias.generate() == []
+
+    def test_head_variable_bound_by_body(self):
+        bias = ModeBias(
+            head_modes=[ModeAtom(Atom("p", [Variable("X")]))],
+            body_modes=[ModeAtom(Atom("q", [Variable("X")]))],
+            max_body=1,
+            allow_constraints=False,
+            allow_negation=False,
+        )
+        assert len(bias.generate()) == 1
+
+
+class TestCandidateRule:
+    def test_default_cost_counts_head_and_body(self):
+        from repro.asp.parser import parse_rule
+
+        assert CandidateRule(parse_rule("a :- b, c.")).cost == 3
+        assert CandidateRule(parse_rule(":- b.")).cost == 1
+
+    def test_equality_by_key(self):
+        from repro.asp.parser import parse_rule
+
+        a = CandidateRule(parse_rule(":- b."), prod_id=0)
+        b = CandidateRule(parse_rule(":- b."), prod_id=0)
+        c = CandidateRule(parse_rule(":- b."), prod_id=1)
+        assert a == b and a != c

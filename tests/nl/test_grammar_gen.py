@@ -1,0 +1,91 @@
+"""Unit tests for intent -> ASG synthesis."""
+
+import pytest
+
+from repro.asp import parse_program
+from repro.asg import accepts, generate_policies
+from repro.nl import GrammarSynthesizer, Vocabulary, parse_intents
+
+
+@pytest.fixture
+def vocabulary():
+    return Vocabulary(
+        subjects={"medic": [], "drone": ["uav"]},
+        actions={"transmit": [], "move": []},
+        conditions={"jamming": []},
+    )
+
+
+@pytest.fixture
+def synthesizer(vocabulary):
+    return GrammarSynthesizer(vocabulary)
+
+
+class TestGrammarSynthesis:
+    def test_grammar_covers_vocabulary(self, synthesizer):
+        model = synthesizer.synthesize([])
+        policies = set(generate_policies(model.asg))
+        assert policies == {
+            ("allow", subject, action)
+            for subject in ("medic", "drone")
+            for action in ("transmit", "move")
+        }
+
+    def test_forbidding_intent_compiles_to_constraint(self, synthesizer, vocabulary):
+        intents = parse_intents(["Drones must not transmit"], vocabulary)
+        model = synthesizer.synthesize(intents)
+        assert len(model.compiled_constraints) == 1
+        assert not accepts(model.asg, ("allow", "drone", "transmit"))
+        assert accepts(model.asg, ("allow", "drone", "move"))
+        assert accepts(model.asg, ("allow", "medic", "transmit"))
+
+    def test_conditional_intent_respects_context(self, synthesizer, vocabulary):
+        intents = parse_intents(
+            ["Drones must not transmit while jamming"], vocabulary
+        )
+        model = synthesizer.synthesize(intents)
+        assert accepts(model.asg, ("allow", "drone", "transmit"))
+        jammed = model.asg.with_context(parse_program("jamming."))
+        assert not accepts(jammed, ("allow", "drone", "transmit"))
+
+    def test_unless_intent_negates_condition(self, synthesizer, vocabulary):
+        intents = parse_intents(
+            ["Drones must not move unless jamming"], vocabulary
+        )
+        model = synthesizer.synthesize(intents)
+        # forbidden in the default context, permitted under jamming
+        assert not accepts(model.asg, ("allow", "drone", "move"))
+        jammed = model.asg.with_context(parse_program("jamming."))
+        assert accepts(jammed, ("allow", "drone", "move"))
+
+    def test_permitting_intents_compile_to_nothing(self, synthesizer, vocabulary):
+        intents = parse_intents(["Allow medics to transmit"], vocabulary)
+        model = synthesizer.synthesize(intents)
+        assert model.compiled_constraints == []
+
+    def test_hypothesis_space_spans_conditions(self, synthesizer):
+        model = synthesizer.synthesize([])
+        texts = {repr(c.rule) for c in model.hypothesis_space}
+        assert any("jamming" in t for t in texts)
+        assert all(c.prod_id == 0 for c in model.hypothesis_space)
+
+
+class TestSynthesisThenLearning:
+    def test_synthesized_model_is_learnable(self, synthesizer, vocabulary):
+        """The full Section III.B pipeline: NL intents seed the model,
+        examples refine it."""
+        from repro.core import Context, GenerativePolicyModel, LabeledExample, learn_gpm
+
+        intents = parse_intents(["Drones must not transmit while jamming"], vocabulary)
+        synthesized = synthesizer.synthesize(intents)
+        model = GenerativePolicyModel(synthesized.asg)
+        jamming = Context.from_text("jamming.", name="jam")
+        examples = [
+            LabeledExample(("allow", "medic", "move")),
+            # new knowledge not in the intents: medics never transmit
+            LabeledExample(("allow", "medic", "transmit"), valid=False),
+        ]
+        learned, __ = learn_gpm(model, synthesized.hypothesis_space, examples)
+        assert not learned.valid(("allow", "medic", "transmit"))
+        # the NL-compiled constraint is still enforced
+        assert not learned.valid(("allow", "drone", "transmit"), jamming)

@@ -1,0 +1,110 @@
+"""Unit tests for the controlled-English intent parser."""
+
+import pytest
+
+from repro.nl import Intent, IntentParseError, Vocabulary, parse_intent, parse_intents
+
+
+@pytest.fixture
+def vocabulary():
+    return Vocabulary(
+        subjects={
+            "medic": ["medics", "medical team"],
+            "drone": ["drones", "uav", "uavs"],
+        },
+        actions={
+            "transmit": ["transmitting", "broadcast", "send data"],
+            "enter_zone": ["enter the zone", "zone entry"],
+        },
+        conditions={
+            "jamming": ["jamming", "the adversary is jamming"],
+            "emergency": ["an emergency", "emergencies"],
+        },
+    )
+
+
+class TestPermittingIntents:
+    def test_allow_lead(self, vocabulary):
+        intent = parse_intent("Allow medics to transmit.", vocabulary)
+        assert intent == Intent(True, "medic", "transmit")
+
+    def test_may_marker(self, vocabulary):
+        intent = parse_intent("Drones may enter the zone.", vocabulary)
+        assert intent.permitted and intent.subject == "drone"
+        assert intent.action == "enter_zone"
+
+    def test_synonym_resolution(self, vocabulary):
+        intent = parse_intent("Permit the medical team to broadcast", vocabulary)
+        assert intent == Intent(True, "medic", "transmit")
+
+
+class TestForbiddingIntents:
+    def test_must_not(self, vocabulary):
+        intent = parse_intent("Drones must not transmit.", vocabulary)
+        assert intent == Intent(False, "drone", "transmit")
+
+    def test_forbid_lead(self, vocabulary):
+        intent = parse_intent("Forbid drones from transmitting", vocabulary)
+        assert not intent.permitted
+
+    def test_deny_lead(self, vocabulary):
+        intent = parse_intent("Deny uavs zone entry", vocabulary)
+        assert intent == Intent(False, "drone", "enter_zone")
+
+
+class TestConditions:
+    def test_while_clause(self, vocabulary):
+        intent = parse_intent(
+            "Drones must not transmit while the adversary is jamming", vocabulary
+        )
+        assert intent.condition == "jamming"
+        assert not intent.condition_negated
+
+    def test_unless_clause(self, vocabulary):
+        intent = parse_intent(
+            "Drones must not enter the zone unless an emergency", vocabulary
+        )
+        assert intent.condition == "emergency"
+        assert intent.condition_negated
+
+    def test_when_clause(self, vocabulary):
+        intent = parse_intent("Allow medics to transmit when jamming", vocabulary)
+        assert intent.permitted and intent.condition == "jamming"
+
+    def test_unknown_condition_rejected(self, vocabulary):
+        with pytest.raises(IntentParseError):
+            parse_intent("Drones must not transmit while raining", vocabulary)
+
+
+class TestErrors:
+    def test_unknown_subject(self, vocabulary):
+        with pytest.raises(IntentParseError):
+            parse_intent("Allow tanks to transmit", vocabulary)
+
+    def test_unknown_action(self, vocabulary):
+        with pytest.raises(IntentParseError):
+            parse_intent("Allow medics to dance", vocabulary)
+
+    def test_no_modality(self, vocabulary):
+        with pytest.raises(IntentParseError):
+            parse_intent("Medics transmit", vocabulary)
+
+    def test_empty_sentence(self, vocabulary):
+        with pytest.raises(IntentParseError):
+            parse_intent("   ", vocabulary)
+
+
+class TestBatch:
+    def test_parse_intents(self, vocabulary):
+        intents = parse_intents(
+            ["Allow medics to transmit", "Drones must not transmit while jamming"],
+            vocabulary,
+        )
+        assert len(intents) == 2
+        assert intents[0].permitted and not intents[1].permitted
+
+    def test_describe_roundtrips_meaning(self, vocabulary):
+        intent = parse_intent(
+            "Drones must not transmit while jamming", vocabulary
+        )
+        assert intent.describe() == "drone must not transmit while jamming"

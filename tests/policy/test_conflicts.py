@@ -1,0 +1,91 @@
+"""Unit tests for conflict resolution strategies."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.policy import (
+    ContextualResolver,
+    Decision,
+    Effect,
+    Match,
+    Policy,
+    Request,
+    Target,
+    XacmlRule,
+    deny_overrides,
+    first_applicable,
+    permit_overrides,
+    priority_based,
+    resolve,
+)
+
+
+@pytest.fixture
+def conflicting_policies():
+    return [
+        Policy("allow_dba", [XacmlRule("r", Effect.PERMIT, Target([Match("subject", "role", "eq", "dba")]))]),
+        Policy("deny_writes", [XacmlRule("r", Effect.DENY, Target([Match("action", "id", "eq", "write")]))]),
+    ]
+
+
+@pytest.fixture
+def conflicted_request():
+    return Request({"subject": {"role": "dba"}, "action": {"id": "write"}})
+
+
+class TestStrategies:
+    def test_deny_overrides(self, conflicting_policies, conflicted_request):
+        assert resolve(conflicting_policies, conflicted_request, deny_overrides) is Decision.DENY
+
+    def test_permit_overrides(self, conflicting_policies, conflicted_request):
+        assert (
+            resolve(conflicting_policies, conflicted_request, permit_overrides)
+            is Decision.PERMIT
+        )
+
+    def test_first_applicable_uses_policy_order(self, conflicting_policies, conflicted_request):
+        assert (
+            resolve(conflicting_policies, conflicted_request, first_applicable)
+            is Decision.PERMIT
+        )
+        reversed_order = list(reversed(conflicting_policies))
+        assert resolve(reversed_order, conflicted_request, first_applicable) is Decision.DENY
+
+    def test_priority_based(self, conflicting_policies, conflicted_request):
+        prefer_permit = priority_based({"allow_dba": 10, "deny_writes": 1})
+        assert resolve(conflicting_policies, conflicted_request, prefer_permit) is Decision.PERMIT
+        prefer_deny = priority_based({"allow_dba": 1, "deny_writes": 10})
+        assert resolve(conflicting_policies, conflicted_request, prefer_deny) is Decision.DENY
+
+    def test_named_strategy_strings(self, conflicting_policies, conflicted_request):
+        assert resolve(conflicting_policies, conflicted_request, "permit-overrides") is Decision.PERMIT
+        with pytest.raises(PolicyError):
+            resolve(conflicting_policies, conflicted_request, "coin-flip")
+
+    def test_no_hits_not_applicable(self, conflicting_policies):
+        request = Request({"subject": {"role": "dev"}, "action": {"id": "read"}})
+        assert resolve(conflicting_policies, request) is Decision.NOT_APPLICABLE
+
+
+class TestContextualResolver:
+    def test_context_selects_strategy(self, conflicting_policies, conflicted_request):
+        # in emergencies the coalition prefers action (permit-overrides);
+        # otherwise it is conservative (deny-overrides) — the paper's
+        # "which strategy to adopt depend[s] on the context"
+        resolver = ContextualResolver(
+            rules=[(lambda ctx: ctx.get("emergency", False), permit_overrides)],
+            default=deny_overrides,
+        )
+        normal = resolver.strategy_for({})
+        emergency = resolver.strategy_for({"emergency": True})
+        assert resolve(conflicting_policies, conflicted_request, normal) is Decision.DENY
+        assert resolve(conflicting_policies, conflicted_request, emergency) is Decision.PERMIT
+
+    def test_first_matching_rule_wins(self):
+        resolver = ContextualResolver(
+            rules=[
+                (lambda ctx: True, permit_overrides),
+                (lambda ctx: True, deny_overrides),
+            ]
+        )
+        assert resolver.strategy_for({}) is permit_overrides

@@ -1,0 +1,98 @@
+"""Unit tests for enforceability assessment (Section V.A extension)."""
+
+import pytest
+
+from repro.policy import Effect, Match, Policy, Target, XacmlRule
+from repro.policy.enforceability import (
+    AttributeCapability,
+    EnforcementCapability,
+    assess_enforceability,
+    information_needs,
+)
+
+
+def policy(policy_id, *matches, target_matches=()):
+    return Policy(
+        policy_id,
+        [XacmlRule("r", Effect.PERMIT, Target(list(matches)))],
+        target=Target(list(target_matches)),
+    )
+
+
+class TestInformationNeeds:
+    def test_collects_rule_and_target_attributes(self):
+        p = policy(
+            "p",
+            Match("subject", "role", "eq", "dba"),
+            target_matches=[Match("environment", "zone", "eq", "green")],
+        )
+        assert information_needs(p) == [
+            ("environment", "zone"),
+            ("subject", "role"),
+        ]
+
+    def test_unconditional_policy_needs_nothing(self):
+        assert information_needs(policy("p")) == []
+
+    def test_duplicates_collapsed(self):
+        p = policy(
+            "p",
+            Match("subject", "role", "eq", "dba"),
+            Match("subject", "role", "neq", "guest"),
+        )
+        assert information_needs(p) == [("subject", "role")]
+
+
+class TestAssessment:
+    def test_missing_attribute_blocks_enforcement(self):
+        p = policy("p", Match("environment", "threat", "eq", "high"))
+        capability = EnforcementCapability({})
+        result = assess_enforceability([p], capability)
+        assert not result.enforceable("p")
+        assert result.missing("p") == [("environment", "threat")]
+        assert result.unenforceable_policies() == ["p"]
+
+    def test_available_attributes_enforceable(self):
+        p = policy("p", Match("subject", "role", "eq", "dba"))
+        capability = EnforcementCapability(
+            {("subject", "role"): AttributeCapability()}
+        )
+        result = assess_enforceability([p], capability)
+        assert result.enforceable("p")
+        assert result.feasibility("p") == 1.0
+
+    def test_realtime_requirement(self):
+        # the paper's example: context acquired only from stale sources
+        p = policy("p", Match("environment", "threat", "eq", "high"))
+        stale = EnforcementCapability(
+            {
+                ("environment", "threat"): AttributeCapability(
+                    available=True, realtime=False, reliability=0.8
+                )
+            }
+        )
+        strict = assess_enforceability([p], stale, require_realtime=True)
+        relaxed = assess_enforceability([p], stale, require_realtime=False)
+        assert not strict.enforceable("p")
+        assert relaxed.enforceable("p")
+        assert relaxed.feasibility("p") == pytest.approx(0.8)
+
+    def test_feasibility_multiplies_reliabilities(self):
+        p = policy(
+            "p",
+            Match("subject", "role", "eq", "dba"),
+            Match("environment", "threat", "eq", "low"),
+        )
+        capability = EnforcementCapability(
+            {
+                ("subject", "role"): AttributeCapability(reliability=0.9),
+                ("environment", "threat"): AttributeCapability(reliability=0.5),
+            }
+        )
+        result = assess_enforceability([p], capability)
+        assert result.feasibility("p") == pytest.approx(0.45)
+
+    def test_unconditional_policy_always_enforceable(self):
+        result = assess_enforceability([policy("p")], EnforcementCapability({}))
+        assert result.enforceable("p")
+        assert result.feasibility("p") == 1.0

@@ -1,0 +1,117 @@
+"""Unit tests for explanations and counterfactuals (paper Section V.B)."""
+
+import pytest
+
+from repro.policy import (
+    CategoricalDomain,
+    Decision,
+    DomainSchema,
+    Effect,
+    IntegerDomain,
+    Match,
+    Policy,
+    Request,
+    Target,
+    XacmlRule,
+    counterfactuals,
+    explain_decision,
+)
+
+
+@pytest.fixture
+def schema():
+    return DomainSchema(
+        {
+            ("subject", "role"): CategoricalDomain(["dba", "dev"]),
+            ("subject", "income"): IntegerDomain(30, 50),
+            ("action", "id"): CategoricalDomain(["read", "write"]),
+        }
+    )
+
+
+@pytest.fixture
+def policies():
+    return [
+        Policy(
+            "loans",
+            [
+                XacmlRule(
+                    "high_income",
+                    Effect.PERMIT,
+                    Target([Match("subject", "income", "ge", 45)]),
+                ),
+                XacmlRule("default_deny", Effect.DENY),
+            ],
+            combining="first-applicable",
+        )
+    ]
+
+
+class TestExplanations:
+    def test_denied_explanation_names_rule(self, policies):
+        request = Request(
+            {"subject": {"role": "dev", "income": 40}, "action": {"id": "read"}}
+        )
+        explanation = explain_decision(policies, request)
+        assert explanation.decision is Decision.DENY
+        assert any(rule.rule_id == "default_deny" for __, rule, __d in explanation.fired)
+        assert "deny" in explanation.text()
+
+    def test_permitted_explanation_lists_matches(self, policies):
+        request = Request(
+            {"subject": {"role": "dev", "income": 48}, "action": {"id": "read"}}
+        )
+        explanation = explain_decision(policies, request)
+        assert explanation.decision is Decision.PERMIT
+        assert any("income" in repr(m) for m in explanation.relevant_matches)
+
+    def test_no_rules_fired(self):
+        narrow = Policy(
+            "p",
+            [XacmlRule("r", Effect.PERMIT, Target([Match("subject", "role", "eq", "dba")]))],
+        )
+        request = Request({"subject": {"role": "dev"}})
+        explanation = explain_decision([narrow], request)
+        assert explanation.fired == []
+        assert "no rule applied" in explanation.text()
+
+
+class TestCounterfactuals:
+    def test_income_counterfactual(self, policies, schema):
+        # the paper's GDPR loan example: denied at 40, permitted at 45
+        request = Request(
+            {"subject": {"role": "dev", "income": 40}, "action": {"id": "read"}}
+        )
+        results = counterfactuals(policies, request, schema)
+        assert results
+        best = results[0]
+        assert best.size == 1
+        (key, (old, new)) = next(iter(best.changes.items()))
+        assert key == ("subject", "income")
+        assert old == 40 and new >= 45
+        assert best.new_decision is Decision.PERMIT
+        assert "income" in best.text()
+
+    def test_counterfactuals_are_minimal(self, policies, schema):
+        request = Request(
+            {"subject": {"role": "dev", "income": 40}, "action": {"id": "read"}}
+        )
+        results = counterfactuals(policies, request, schema, max_changes=2)
+        sizes = [c.size for c in results]
+        assert sizes == sorted(sizes)
+        # no counterfactual should change income plus something irrelevant
+        assert all(c.size == 1 for c in results if ("subject", "income") in c.changes)
+
+    def test_target_decision_filter(self, policies, schema):
+        request = Request(
+            {"subject": {"role": "dev", "income": 48}, "action": {"id": "read"}}
+        )
+        to_deny = counterfactuals(policies, request, schema, target=Decision.DENY)
+        assert all(c.new_decision is Decision.DENY for c in to_deny)
+
+    def test_no_counterfactual_when_decision_constant(self, schema):
+        constant = [Policy("p", [XacmlRule("r", Effect.DENY)])]
+        request = Request(
+            {"subject": {"role": "dev", "income": 40}, "action": {"id": "read"}}
+        )
+        assert counterfactuals(constant, request, schema) == []

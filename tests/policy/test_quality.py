@@ -1,0 +1,238 @@
+"""Unit tests for policy quality assessment (paper Section V.A)."""
+
+import pytest
+
+from repro.policy import (
+    CategoricalDomain,
+    Decision,
+    DomainSchema,
+    Effect,
+    Match,
+    Policy,
+    Target,
+    XacmlRule,
+    assess,
+    find_conflicts,
+    find_coverage_gaps,
+    find_irrelevant,
+    find_redundant,
+    rules_overlap,
+)
+
+
+@pytest.fixture
+def schema():
+    return DomainSchema(
+        {
+            ("subject", "role"): CategoricalDomain(["dba", "dev", "guest"]),
+            ("action", "id"): CategoricalDomain(["read", "write"]),
+        }
+    )
+
+
+def permit(policy_id, *matches):
+    return Policy(policy_id, [XacmlRule("r", Effect.PERMIT, Target(list(matches)))])
+
+def deny(policy_id, *matches):
+    return Policy(policy_id, [XacmlRule("r", Effect.DENY, Target(list(matches)))])
+
+
+class TestConflicts:
+    def test_overlapping_contradiction_found(self, schema):
+        a = permit("a", Match("subject", "role", "eq", "dba"))
+        b = deny("b", Match("action", "id", "eq", "write"))
+        conflicts = find_conflicts([a, b], schema)
+        assert len(conflicts) == 1
+        witness = conflicts[0].witness
+        assert witness.get("subject", "role") == "dba"
+        assert witness.get("action", "id") == "write"
+
+    def test_disjoint_rules_no_conflict(self, schema):
+        a = permit("a", Match("subject", "role", "eq", "dba"))
+        b = deny("b", Match("subject", "role", "eq", "guest"))
+        assert find_conflicts([a, b], schema) == []
+
+    def test_same_effect_no_conflict(self, schema):
+        a = permit("a", Match("subject", "role", "eq", "dba"))
+        b = permit("b")
+        assert find_conflicts([a, b], schema) == []
+
+    def test_within_policy_conflict_only_for_first_applicable(self, schema):
+        rules = [
+            XacmlRule("r1", Effect.PERMIT, Target([Match("subject", "role", "eq", "dba")])),
+            XacmlRule("r2", Effect.DENY, Target([Match("action", "id", "eq", "write")])),
+        ]
+        resolved = Policy("p", rules, combining="deny-overrides")
+        masked = Policy("p", rules, combining="first-applicable")
+        assert find_conflicts([resolved], schema) == []
+        assert len(find_conflicts([masked], schema)) == 1
+
+    def test_paper_crypto_postdoc_example(self, schema):
+        # "any member of the Crypto project can modify the libs" vs
+        # "a postdoc cannot" — conflict exists iff someone can be both.
+        project_schema = DomainSchema(
+            {
+                ("subject", "project"): CategoricalDomain(["crypto", "other"]),
+                ("subject", "position"): CategoricalDomain(["postdoc", "staff"]),
+            }
+        )
+        member = permit("member", Match("subject", "project", "eq", "crypto"))
+        postdoc = deny("postdoc", Match("subject", "position", "eq", "postdoc"))
+        conflicts = find_conflicts([member, postdoc], project_schema)
+        assert len(conflicts) == 1  # a crypto postdoc is possible in this schema
+
+    def test_rules_overlap_none_when_unsatisfiable(self, schema):
+        impossible = Policy(
+            "x",
+            [
+                XacmlRule(
+                    "r",
+                    Effect.PERMIT,
+                    Target(
+                        [
+                            Match("subject", "role", "eq", "dba"),
+                            Match("subject", "role", "eq", "dev"),
+                        ]
+                    ),
+                )
+            ],
+        )
+        other = deny("d")
+        assert (
+            rules_overlap(impossible, impossible.rules[0], other, other.rules[0], schema)
+            is None
+        )
+
+
+class TestRelevance:
+    def test_unsatisfiable_policy_is_irrelevant(self, schema):
+        contradictory = permit(
+            "never",
+            Match("subject", "role", "eq", "dba"),
+            Match("subject", "role", "eq", "dev"),
+        )
+        assert find_irrelevant([contradictory], schema) == ["never"]
+
+    def test_satisfiable_policy_is_relevant(self, schema):
+        assert find_irrelevant([permit("p", Match("subject", "role", "eq", "dba"))], schema) == []
+
+    def test_workload_relevance(self, schema):
+        from repro.policy import Request
+
+        policy = permit("guests", Match("subject", "role", "eq", "guest"))
+        workload = [Request({"subject": {"role": "dba"}, "action": {"id": "read"}})]
+        assert find_irrelevant([policy], schema, workload) == ["guests"]
+
+
+class TestMinimality:
+    def test_subsumed_rule_is_redundant(self, schema):
+        policy = Policy(
+            "p",
+            [
+                XacmlRule("broad", Effect.PERMIT, Target([Match("subject", "role", "eq", "dba")])),
+                XacmlRule(
+                    "narrow",
+                    Effect.PERMIT,
+                    Target(
+                        [
+                            Match("subject", "role", "eq", "dba"),
+                            Match("action", "id", "eq", "read"),
+                        ]
+                    ),
+                ),
+            ],
+        )
+        assert find_redundant([policy], schema) == [("p", "narrow")]
+
+    def test_exact_mode_confirms_semantics(self, schema):
+        policy = Policy(
+            "p",
+            [
+                XacmlRule("broad", Effect.PERMIT, Target([Match("subject", "role", "eq", "dba")])),
+                XacmlRule(
+                    "narrow",
+                    Effect.PERMIT,
+                    Target(
+                        [
+                            Match("subject", "role", "eq", "dba"),
+                            Match("action", "id", "eq", "read"),
+                        ]
+                    ),
+                ),
+            ],
+        )
+        assert find_redundant([policy], schema, exact=True) == [("p", "narrow")]
+
+    def test_order_matters_not_flagged_when_earlier_is_narrower(self, schema):
+        policy = Policy(
+            "p",
+            [
+                XacmlRule(
+                    "narrow",
+                    Effect.PERMIT,
+                    Target(
+                        [
+                            Match("subject", "role", "eq", "dba"),
+                            Match("action", "id", "eq", "read"),
+                        ]
+                    ),
+                ),
+                XacmlRule("broad", Effect.PERMIT, Target([Match("subject", "role", "eq", "dba")])),
+            ],
+        )
+        # syntactic check only flags later-subsumed-by-earlier
+        assert find_redundant([policy], schema) == []
+
+    def test_unsatisfiable_rule_is_redundant(self, schema):
+        policy = Policy(
+            "p",
+            [
+                XacmlRule("ok", Effect.PERMIT),
+                XacmlRule(
+                    "never",
+                    Effect.DENY,
+                    Target(
+                        [
+                            Match("subject", "role", "eq", "dba"),
+                            Match("subject", "role", "eq", "guest"),
+                        ]
+                    ),
+                ),
+            ],
+        )
+        assert ("p", "never") in find_redundant([policy], schema)
+
+
+class TestCompleteness:
+    def test_gap_found(self, schema):
+        only_dba = permit("p", Match("subject", "role", "eq", "dba"))
+        gaps = find_coverage_gaps([only_dba], schema)
+        assert gaps
+        assert all(g.get("subject", "role") != "dba" for g in gaps)
+
+    def test_complete_set_has_no_gaps(self, schema):
+        complete = [
+            permit("p", Match("subject", "role", "eq", "dba")),
+            deny("d"),
+        ]
+        assert find_coverage_gaps(complete, schema) == []
+
+
+class TestAssess:
+    def test_clean_policy_set_passes(self, schema):
+        policies = [
+            permit("p", Match("subject", "role", "eq", "dba")),
+            deny("d", Match("subject", "role", "eq", "guest")),
+            deny("fallback", Match("subject", "role", "eq", "dev")),
+        ]
+        report = assess(policies, schema)
+        assert report.consistent and report.relevant and report.minimal
+        assert report.complete
+        assert report.ok
+
+    def test_summary_counts(self, schema):
+        a = permit("a", Match("subject", "role", "eq", "dba"))
+        b = deny("b", Match("subject", "role", "eq", "dba"))
+        report = assess([a, b], schema)
+        assert report.summary()["conflicts"] == 1
+        assert not report.ok

@@ -1,0 +1,101 @@
+"""Unit tests for risk assessment (Section V.A extension)."""
+
+import pytest
+
+from repro.policy import (
+    CategoricalDomain,
+    DomainSchema,
+    Effect,
+    Match,
+    Policy,
+    Request,
+    Target,
+    XacmlRule,
+)
+from repro.policy.risk import RiskModel, assess_risk, constant_harm
+
+
+@pytest.fixture
+def schema():
+    return DomainSchema(
+        {
+            ("subject", "role"): CategoricalDomain(["dba", "guest"]),
+            ("action", "id"): CategoricalDomain(["read", "write"]),
+        }
+    )
+
+
+@pytest.fixture
+def workload(schema):
+    return list(schema.all_requests())
+
+
+def permissive_set():
+    return [Policy("open", [XacmlRule("r", Effect.PERMIT)])]
+
+
+def restrictive_set():
+    return [Policy("closed", [XacmlRule("r", Effect.DENY)])]
+
+
+class TestRiskDirections:
+    def test_permissive_set_carries_permit_risk(self, workload):
+        model = RiskModel(constant_harm(1.0), constant_harm(1.0))
+        result = assess_risk(permissive_set(), workload, model, error_rate=0.1)
+        assert result.permitted == len(workload)
+        assert result.permissiveness_risk == pytest.approx(0.1 * len(workload))
+        assert result.restrictiveness_risk == 0.0
+
+    def test_restrictive_set_carries_deny_risk(self, workload):
+        # the paper's example: over-restriction withholds needed information
+        model = RiskModel(constant_harm(1.0), constant_harm(2.0))
+        result = assess_risk(restrictive_set(), workload, model, error_rate=0.1)
+        assert result.denied == len(workload)
+        assert result.restrictiveness_risk == pytest.approx(0.2 * len(workload))
+        assert result.permissiveness_risk == 0.0
+
+    def test_gaps_contribute_worst_case(self, workload):
+        narrow = [
+            Policy(
+                "narrow",
+                [
+                    XacmlRule(
+                        "r",
+                        Effect.PERMIT,
+                        Target([Match("subject", "role", "eq", "dba")]),
+                    )
+                ],
+            )
+        ]
+        model = RiskModel(constant_harm(1.0), constant_harm(3.0))
+        result = assess_risk(narrow, workload, model, error_rate=0.1)
+        assert result.undecided == 2  # the guest requests
+        assert result.total > result.permissiveness_risk
+
+    def test_request_dependent_harm(self, workload):
+        def write_harm(request: Request) -> float:
+            return 10.0 if request.get("action", "id") == "write" else 1.0
+
+        model = RiskModel(write_harm, constant_harm(0.0))
+        result = assess_risk(permissive_set(), workload, model, error_rate=1.0)
+        # 2 writes * 10 + 2 reads * 1
+        assert result.permissiveness_risk == pytest.approx(22.0)
+
+    def test_zero_error_rate_means_zero_risk(self, workload):
+        model = RiskModel(constant_harm(5.0), constant_harm(5.0))
+        result = assess_risk(permissive_set(), workload, model, error_rate=0.0)
+        assert result.total == 0.0
+
+
+class TestContextDependentModels:
+    def test_different_models_rank_policy_sets_differently(self, workload):
+        """The paper: 'different enforceability and risk models for
+        different contexts and coalition missions'."""
+        cautious = RiskModel(constant_harm(10.0), constant_harm(1.0), "cautious")
+        urgent = RiskModel(constant_harm(1.0), constant_harm(10.0), "urgent")
+        open_risk_cautious = assess_risk(permissive_set(), workload, cautious).total
+        closed_risk_cautious = assess_risk(restrictive_set(), workload, cautious).total
+        open_risk_urgent = assess_risk(permissive_set(), workload, urgent).total
+        closed_risk_urgent = assess_risk(restrictive_set(), workload, urgent).total
+        assert open_risk_cautious > closed_risk_cautious
+        assert closed_risk_urgent > open_risk_urgent

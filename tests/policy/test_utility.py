@@ -1,0 +1,73 @@
+"""Unit tests for utility-based policies (Section I's third policy type)."""
+
+import pytest
+
+from repro.core import Context
+from repro.errors import PolicyError
+from repro.policy.utility import UtilityPolicy
+
+ROUTE_RULES = """
+risk(main, 3). risk(river, 1). risk(narrow, 2).
+risk_override(river, 9) :- storm.
+overridden(R) :- risk_override(R, X).
+effective(R, W) :- risk_override(R, W).
+effective(R, W) :- risk(R, W), not overridden(R).
+:~ chosen(R), effective(R, W). [W]
+"""
+
+
+@pytest.fixture
+def route_policy():
+    return UtilityPolicy(["main", "river", "narrow"], ROUTE_RULES)
+
+
+class TestChoice:
+    def test_lowest_risk_chosen(self, route_policy):
+        assert route_policy.choose() == ["river"]
+
+    def test_context_changes_choice(self, route_policy):
+        storm = Context.from_text("storm.")
+        assert route_policy.choose(storm) == ["narrow"]
+
+    def test_ties_return_all(self):
+        policy = UtilityPolicy(
+            ["a", "b"], "value(a, 1). value(b, 1). :~ chosen(X), value(X, W). [W]"
+        )
+        assert policy.choose() == ["a", "b"]
+
+    def test_empty_options_rejected(self):
+        with pytest.raises(PolicyError):
+            UtilityPolicy([], ":~ chosen(X). [1]")
+
+    def test_unsatisfiable_context(self):
+        policy = UtilityPolicy(["a"], ":- chosen(a), forbidden.")
+        assert policy.choose() == ["a"]
+        with pytest.raises(PolicyError):
+            policy.choose(Context.from_text("forbidden."))
+
+
+class TestRanking:
+    def test_rank_orders_by_cost(self, route_policy):
+        ranked = route_policy.rank()
+        assert [option for option, __ in ranked] == ["river", "narrow", "main"]
+        costs = [cost for __, cost in ranked]
+        assert costs == sorted(costs)
+
+    def test_rank_under_context(self, route_policy):
+        ranked = route_policy.rank(Context.from_text("storm."))
+        assert ranked[0][0] == "narrow"
+        assert ranked[-1][0] == "river"
+
+
+class TestPriorities:
+    def test_safety_dominates_speed(self):
+        # priority 2: safety (avoid exposed routes); priority 1: speed
+        policy = UtilityPolicy(
+            ["fast_exposed", "slow_safe"],
+            """
+            exposed(fast_exposed). slow(slow_safe).
+            :~ chosen(R), exposed(R). [1@2]
+            :~ chosen(R), slow(R). [1@1]
+            """,
+        )
+        assert policy.choose() == ["slow_safe"]

@@ -1,0 +1,233 @@
+"""Unit tests for the XACML-lite model and evaluation."""
+
+import pytest
+
+from repro.errors import PolicyValidationError
+from repro.policy import (
+    CategoricalDomain,
+    Decision,
+    DomainSchema,
+    Effect,
+    IntegerDomain,
+    Match,
+    Policy,
+    Request,
+    Target,
+    XacmlRule,
+    applicable_rules,
+    evaluate_policy,
+    evaluate_policy_set,
+    evaluate_rule,
+)
+
+
+@pytest.fixture
+def request_dba_write():
+    return Request(
+        {
+            "subject": {"role": "dba", "age": 35},
+            "action": {"id": "write"},
+            "resource": {"type": "db"},
+        }
+    )
+
+
+class TestMatch:
+    def test_eq_match(self, request_dba_write):
+        assert Match("subject", "role", "eq", "dba").applies(request_dba_write) is True
+        assert Match("subject", "role", "eq", "dev").applies(request_dba_write) is False
+
+    def test_numeric_comparisons(self, request_dba_write):
+        assert Match("subject", "age", "ge", 30).applies(request_dba_write) is True
+        assert Match("subject", "age", "lt", 30).applies(request_dba_write) is False
+
+    def test_in_operator(self, request_dba_write):
+        match = Match("action", "id", "in", ["read", "write"])
+        assert match.applies(request_dba_write) is True
+
+    def test_missing_attribute_is_indeterminate(self, request_dba_write):
+        assert Match("environment", "zone", "eq", "red").applies(request_dba_write) is None
+
+    def test_type_mismatch_is_indeterminate(self, request_dba_write):
+        assert Match("subject", "role", "lt", 5).applies(request_dba_write) is None
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(PolicyValidationError):
+            Match("subject", "role", "matches", "d.*")
+
+    def test_allowed_values(self):
+        domain = IntegerDomain(0, 10)
+        match = Match("subject", "age", "ge", 7)
+        assert match.allowed_values(domain) == (7, 8, 9, 10)
+
+
+class TestTarget:
+    def test_empty_target_matches_all(self, request_dba_write):
+        assert Target().applies(request_dba_write) is True
+
+    def test_conjunction(self, request_dba_write):
+        target = Target(
+            [Match("subject", "role", "eq", "dba"), Match("action", "id", "eq", "write")]
+        )
+        assert target.applies(request_dba_write) is True
+
+    def test_one_false_match_fails(self, request_dba_write):
+        target = Target(
+            [Match("subject", "role", "eq", "dba"), Match("action", "id", "eq", "read")]
+        )
+        assert target.applies(request_dba_write) is False
+
+    def test_false_beats_indeterminate(self, request_dba_write):
+        target = Target(
+            [
+                Match("environment", "zone", "eq", "red"),  # indeterminate
+                Match("action", "id", "eq", "read"),  # false
+            ]
+        )
+        assert target.applies(request_dba_write) is False
+
+
+class TestRuleEvaluation:
+    def test_permit_rule(self, request_dba_write):
+        rule = XacmlRule("r", Effect.PERMIT, Target([Match("subject", "role", "eq", "dba")]))
+        assert evaluate_rule(rule, request_dba_write) is Decision.PERMIT
+
+    def test_not_applicable(self, request_dba_write):
+        rule = XacmlRule("r", Effect.DENY, Target([Match("subject", "role", "eq", "dev")]))
+        assert evaluate_rule(rule, request_dba_write) is Decision.NOT_APPLICABLE
+
+    def test_condition_gates_effect(self, request_dba_write):
+        rule = XacmlRule(
+            "r",
+            Effect.PERMIT,
+            Target([Match("subject", "role", "eq", "dba")]),
+            condition=Target([Match("subject", "age", "lt", 30)]),
+        )
+        assert evaluate_rule(rule, request_dba_write) is Decision.NOT_APPLICABLE
+
+    def test_indeterminate_propagates(self, request_dba_write):
+        rule = XacmlRule("r", Effect.PERMIT, Target([Match("environment", "zone", "eq", "x")]))
+        assert evaluate_rule(rule, request_dba_write) is Decision.INDETERMINATE
+
+
+class TestCombiningAlgorithms:
+    def _policy(self, combining):
+        return Policy(
+            "p",
+            [
+                XacmlRule("deny_dba", Effect.DENY, Target([Match("subject", "role", "eq", "dba")])),
+                XacmlRule("permit_all", Effect.PERMIT),
+            ],
+            combining=combining,
+        )
+
+    def test_deny_overrides(self, request_dba_write):
+        assert evaluate_policy(self._policy("deny-overrides"), request_dba_write) is Decision.DENY
+
+    def test_permit_overrides(self, request_dba_write):
+        assert (
+            evaluate_policy(self._policy("permit-overrides"), request_dba_write)
+            is Decision.PERMIT
+        )
+
+    def test_first_applicable(self, request_dba_write):
+        assert (
+            evaluate_policy(self._policy("first-applicable"), request_dba_write)
+            is Decision.DENY
+        )
+
+    def test_policy_target_gates(self, request_dba_write):
+        policy = Policy(
+            "p",
+            [XacmlRule("r", Effect.PERMIT)],
+            target=Target([Match("subject", "role", "eq", "dev")]),
+        )
+        assert evaluate_policy(policy, request_dba_write) is Decision.NOT_APPLICABLE
+
+    def test_unknown_combining_rejected(self):
+        with pytest.raises(PolicyValidationError):
+            Policy("p", [XacmlRule("r", Effect.PERMIT)], combining="weird")
+
+    def test_empty_policy_rejected(self):
+        with pytest.raises(PolicyValidationError):
+            Policy("p", [])
+
+    def test_duplicate_rule_ids_rejected(self):
+        with pytest.raises(PolicyValidationError):
+            Policy("p", [XacmlRule("r", Effect.PERMIT), XacmlRule("r", Effect.DENY)])
+
+
+class TestPolicySet:
+    def test_deny_overrides_across_policies(self, request_dba_write):
+        permit = Policy("permit", [XacmlRule("r", Effect.PERMIT)])
+        deny = Policy("deny", [XacmlRule("r", Effect.DENY)])
+        assert (
+            evaluate_policy_set([permit, deny], request_dba_write, "deny-overrides")
+            is Decision.DENY
+        )
+        assert (
+            evaluate_policy_set([permit, deny], request_dba_write, "permit-overrides")
+            is Decision.PERMIT
+        )
+
+    def test_empty_set_not_applicable(self, request_dba_write):
+        assert evaluate_policy_set([], request_dba_write) is Decision.NOT_APPLICABLE
+
+    def test_applicable_rules_reports_fired(self, request_dba_write):
+        policy = Policy(
+            "p",
+            [
+                XacmlRule("a", Effect.PERMIT, Target([Match("subject", "role", "eq", "dba")])),
+                XacmlRule("b", Effect.DENY, Target([Match("subject", "role", "eq", "dev")])),
+            ],
+        )
+        fired = applicable_rules(policy, request_dba_write)
+        assert [rule.rule_id for rule, __ in fired] == ["a"]
+
+
+class TestRequest:
+    def test_unknown_category_rejected(self):
+        with pytest.raises(PolicyValidationError):
+            Request({"thing": {"a": 1}})
+
+    def test_with_value_is_copy(self, request_dba_write):
+        changed = request_dba_write.with_value("subject", "role", "dev")
+        assert request_dba_write.get("subject", "role") == "dba"
+        assert changed.get("subject", "role") == "dev"
+
+    def test_requests_hashable(self, request_dba_write):
+        again = Request(
+            {
+                "subject": {"role": "dba", "age": 35},
+                "action": {"id": "write"},
+                "resource": {"type": "db"},
+            }
+        )
+        assert request_dba_write == again
+        assert len({request_dba_write, again}) == 1
+
+
+class TestDomainSchema:
+    def test_all_requests_cartesian(self):
+        schema = DomainSchema(
+            {
+                ("subject", "role"): CategoricalDomain(["a", "b"]),
+                ("action", "id"): CategoricalDomain(["x", "y", "z"]),
+            }
+        )
+        assert len(list(schema.all_requests())) == 6
+
+    def test_request_space_guard(self):
+        schema = DomainSchema(
+            {("subject", "n"): IntegerDomain(0, 999), ("action", "m"): IntegerDomain(0, 999)}
+        )
+        with pytest.raises(PolicyValidationError):
+            list(schema.all_requests(max_requests=1000))
+
+    def test_empty_categorical_rejected(self):
+        with pytest.raises(PolicyValidationError):
+            CategoricalDomain([])
+
+    def test_empty_integer_domain_rejected(self):
+        with pytest.raises(PolicyValidationError):
+            IntegerDomain(5, 4)

@@ -1,0 +1,129 @@
+"""Unit and property tests for XACML XML serialization."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PolicyValidationError
+from repro.policy import Effect, Match, Policy, Target, XacmlRule
+from repro.policy.xacml_io import (
+    policies_from_xml,
+    policies_to_xml,
+    policy_from_xml,
+    policy_to_xml,
+)
+
+
+def sample_policy():
+    return Policy(
+        "p1",
+        [
+            XacmlRule(
+                "r1",
+                Effect.PERMIT,
+                Target([Match("subject", "role", "eq", "dba")]),
+                Target([Match("subject", "age", "ge", 30)]),
+            ),
+            XacmlRule("r2", Effect.DENY),
+        ],
+        Target([Match("resource", "type", "eq", "db")]),
+        "first-applicable",
+    )
+
+
+class TestRoundTrip:
+    def test_policy_roundtrip(self):
+        policy = sample_policy()
+        assert policy_from_xml(policy_to_xml(policy)) == policy
+
+    def test_policy_set_roundtrip(self):
+        policies = [sample_policy(), Policy("p2", [XacmlRule("r", Effect.DENY)])]
+        parsed = policies_from_xml(policies_to_xml(policies))
+        assert parsed == policies
+
+    def test_integer_values_preserved(self):
+        policy = Policy(
+            "p",
+            [XacmlRule("r", Effect.PERMIT, Target([Match("subject", "age", "lt", 18)]))],
+        )
+        parsed = policy_from_xml(policy_to_xml(policy))
+        assert parsed.rules[0].target.matches[0].value == 18
+
+    def test_in_operator_tuple_preserved(self):
+        policy = Policy(
+            "p",
+            [
+                XacmlRule(
+                    "r",
+                    Effect.PERMIT,
+                    Target([Match("action", "id", "in", ("read", "write"))]),
+                )
+            ],
+        )
+        parsed = policy_from_xml(policy_to_xml(policy))
+        assert parsed.rules[0].target.matches[0].value == ("read", "write")
+
+    def test_xml_looks_like_xacml(self):
+        text = policy_to_xml(sample_policy())
+        assert "<Policy " in text
+        assert 'Effect="Permit"' in text
+        assert "RuleCombiningAlgId" in text
+
+
+class TestErrors:
+    def test_malformed_xml(self):
+        with pytest.raises(PolicyValidationError):
+            policy_from_xml("<Policy")
+
+    def test_wrong_root_tag(self):
+        with pytest.raises(PolicyValidationError):
+            policy_from_xml("<Thing/>")
+
+    def test_bad_effect(self):
+        with pytest.raises(PolicyValidationError):
+            policy_from_xml(
+                '<Policy PolicyId="p"><Rule RuleId="r" Effect="Maybe"/></Policy>'
+            )
+
+    def test_match_missing_attribute(self):
+        with pytest.raises(PolicyValidationError):
+            policy_from_xml(
+                '<Policy PolicyId="p"><Rule RuleId="r" Effect="Deny">'
+                "<Target><Match Category=\"subject\">x</Match></Target>"
+                "</Rule></Policy>"
+            )
+
+
+_names = st.sampled_from(["role", "id", "type", "age", "zone"])
+_categories = st.sampled_from(["subject", "resource", "action", "environment"])
+_values = st.one_of(st.integers(min_value=0, max_value=99), st.sampled_from(["a", "b", "dba"]))
+_ops = st.sampled_from(["eq", "neq", "lt", "le", "gt", "ge"])
+
+
+@st.composite
+def policies(draw):
+    n_rules = draw(st.integers(min_value=1, max_value=3))
+    rules = []
+    for i in range(n_rules):
+        matches = [
+            Match(draw(_categories), draw(_names), draw(_ops), draw(_values))
+            for __ in range(draw(st.integers(min_value=0, max_value=2)))
+        ]
+        rules.append(
+            XacmlRule(
+                f"r{i}",
+                draw(st.sampled_from([Effect.PERMIT, Effect.DENY])),
+                Target(matches),
+            )
+        )
+    return Policy(
+        f"p_{draw(st.integers(min_value=0, max_value=999))}",
+        rules,
+        combining=draw(st.sampled_from(Policy.COMBINING_ALGORITHMS)),
+    )
+
+
+class TestRoundTripProperty:
+    @given(policies())
+    @settings(max_examples=100, deadline=None)
+    def test_arbitrary_policy_roundtrips(self, policy):
+        assert policy_from_xml(policy_to_xml(policy)) == policy
