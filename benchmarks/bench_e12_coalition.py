@@ -7,12 +7,19 @@ propagation and trust convergence degrade with message loss.
 Expected shape: adoption falls monotonically (up to sampling noise) as
 the loss rate rises; with a zero-loss fabric every valid shared policy
 is adopted in one round.
+
+The chaos sweep measures the reliable share protocol (seq/ack/
+retransmit) against a fault-injecting fabric: with retries on, the
+coalition converges (every party processes every announced policy) in a
+bounded number of rounds even at heavy drop + duplication + reorder;
+with retries off (fire-and-forget, the pre-reliability protocol), the
+same fault plans leave policies permanently undelivered.
 """
 
 import pytest
 
 from repro.agenp import AutonomousManagedSystem, FieldInterpreter, PolicySpecification
-from repro.agenp.coalition import Coalition, CoalitionNetwork, CoalitionParty
+from repro.agenp.coalition import Coalition, CoalitionNetwork, CoalitionParty, FaultPlan
 from repro.asp.atoms import Atom, Literal
 from repro.asp.terms import Constant
 from repro.core import Context
@@ -36,7 +43,7 @@ def make_spec():
     )
 
 
-def make_party(name, network):
+def make_party(name, network, reliable=True):
     ams = AutonomousManagedSystem(
         name,
         make_spec(),
@@ -49,7 +56,7 @@ def make_party(name, network):
         ),
     )
     ams.bootstrap(Context.from_attributes({}, name="normal"))
-    return CoalitionParty(ams, network)
+    return CoalitionParty(ams, network, reliable=reliable)
 
 
 def run_coalition(loss_rate, seed=0, parties=3):
@@ -80,6 +87,64 @@ def test_propagation_vs_loss(report, benchmark):
     assert adopted[0] == 3 * 2 * 4
     # heavy loss adopts strictly less than lossless
     assert adopted[-1] < adopted[0]
+
+
+def run_chaos(drop, seed, reliable, max_rounds=60, parties=3):
+    """One chaos run: drop + duplication + reorder at the given intensity."""
+    plan = FaultPlan(
+        seed=seed,
+        drop_rate=drop,
+        duplicate_rate=drop / 2,
+        reorder_rate=drop / 2,
+    )
+    network = CoalitionNetwork(fault_plan=plan)
+    members = [
+        make_party(f"ams{i}", network, reliable=reliable) for i in range(parties)
+    ]
+    coalition = Coalition(members)
+    rounds = coalition.run_until_converged(max_rounds=max_rounds)
+    delivery = network.delivered / network.sent if network.sent else 1.0
+    resent = sum(m.retransmissions for m in members)
+    return rounds, delivery, resent, network
+
+
+def test_chaos_convergence(report, benchmark):
+    def run():
+        rows = []
+        for drop in (0.0, 0.3, 0.6):
+            for reliable in (True, False):
+                rounds, delivery, resent, __ = run_chaos(
+                    drop, seed=7, reliable=reliable
+                )
+                rows.append(
+                    (
+                        drop,
+                        "on" if reliable else "off",
+                        rounds if rounds is not None else "never",
+                        delivery,
+                        resent,
+                    )
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "E12 chaos — rounds to convergence vs fault intensity (drop + dup/2 + reorder/2)",
+        f"{'drop':>5} {'retries':>8} {'rounds':>7} {'delivery':>9} {'resent':>7}",
+        *(
+            f"{drop:>5.1f} {retries:>8} {str(rounds):>7} {delivery:>9.2f} {resent:>7}"
+            for drop, retries, rounds, delivery, resent in rows
+        ),
+    )
+    by_key = {(drop, retries): rounds for drop, retries, rounds, __, __r in rows}
+    # fault-free: both modes converge immediately
+    assert by_key[(0.0, "on")] == 1
+    assert by_key[(0.0, "off")] == 1
+    # 30% drop + duplication + reorder: retries converge, fire-and-forget fails
+    assert isinstance(by_key[(0.3, "on")], int)
+    assert by_key[(0.3, "off")] == "never"
+    # even heavier faults: the reliable protocol still converges
+    assert isinstance(by_key[(0.6, "on")], int)
 
 
 def test_round_throughput(benchmark):

@@ -10,7 +10,7 @@ an autonomous coalition party.
 
 from repro.agenp.ams import AutonomousManagedSystem
 from repro.agenp.caswiki import CASWiki, Contribution
-from repro.agenp.coalition import Coalition, CoalitionNetwork, CoalitionParty, Message
+from repro.agenp.coalition import Coalition, CoalitionNetwork, CoalitionParty, FaultPlan, Message
 from repro.agenp.interpreters import FieldInterpreter, PolicyInterpreter
 from repro.agenp.monitoring import DecisionRecord, MonitoringLog
 from repro.agenp.padap import PolicyAdaptationPoint
@@ -51,6 +51,7 @@ __all__ = [
     "Coalition",
     "CoalitionNetwork",
     "CoalitionParty",
+    "FaultPlan",
     "Message",
     "FieldInterpreter",
     "PolicyInterpreter",

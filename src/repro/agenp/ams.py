@@ -38,12 +38,23 @@ from repro.agenp.repositories import (
 )
 from repro.policy.goals import GoalMonitor
 from repro.policy.model import Decision, DomainSchema, Request
+from repro.runtime.breaker import CircuitBreaker
+from repro.runtime.budget import Budget
 
 __all__ = ["AutonomousManagedSystem"]
 
 
 class AutonomousManagedSystem:
-    """One autonomous coalition party under policy-based management."""
+    """One autonomous coalition party under policy-based management.
+
+    Resource governance (optional): ``decision_budget`` is a factory
+    producing one fresh :class:`~repro.runtime.budget.Budget` per PDP
+    decision, and ``breaker`` the circuit breaker guarding the PDP's
+    solver-backed interpretation path; ``learn_budget`` likewise bounds
+    each PAdaP adaptation run (the learner returns a degraded
+    best-so-far hypothesis when it runs out).  All default to
+    ungoverned, preserving exact pre-governance behaviour.
+    """
 
     def __init__(
         self,
@@ -53,6 +64,9 @@ class AutonomousManagedSystem:
         schema: Optional[DomainSchema] = None,
         max_policy_length: int = 12,
         max_learn_violations: int = 0,
+        decision_budget=None,
+        breaker: Optional[CircuitBreaker] = None,
+        learn_budget=None,
     ):
         self.name = name
         self.specification = specification
@@ -74,8 +88,15 @@ class AutonomousManagedSystem:
             self.representations,
             pcp=self.pcp,
             max_violations=max_learn_violations,
+            budget_factory=learn_budget,
         )
-        self.pdp = PolicyDecisionPoint(self.policy_repository, interpreter, self.log)
+        self.pdp = PolicyDecisionPoint(
+            self.policy_repository,
+            interpreter,
+            self.log,
+            budget_factory=decision_budget,
+            breaker=breaker,
+        )
         self.pep = PolicyEnforcementPoint(ManagedResource(name))
         goal_objects = specification.goal_objects()
         self.goal_monitor = GoalMonitor(goal_objects) if goal_objects else None

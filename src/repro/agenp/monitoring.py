@@ -3,7 +3,14 @@
 The AGENP loop requires "a history of the decisions that have been made,
 the actions that have been taken, and the effects that they have had on
 the state of the system".  :class:`MonitoringLog` is that history; the
-PAdaP turns flagged records into new training examples.
+PAdaP turns flagged records into new training examples, and degradation
+events (budget-exhausted or circuit-broken decisions served from a
+fallback) are recorded here so the adaptation loop can see when the
+system is running in a degraded mode.
+
+Record ids are assigned *by the log* from a per-log counter, so two
+logs built in one process produce reproducible, independent id
+sequences (cross-run determinism; no module-level global counter).
 """
 
 from __future__ import annotations
@@ -16,11 +23,14 @@ from repro.policy.model import Decision, Request
 
 __all__ = ["DecisionRecord", "MonitoringLog"]
 
-_counter = itertools.count(1)
-
 
 class DecisionRecord:
-    """One decision/enforcement event and (later) its observed outcome."""
+    """One decision/enforcement event and (later) its observed outcome.
+
+    ``degraded`` marks decisions that were *not* produced by the normal
+    solver-backed path: the PDP fell back to its default decision or the
+    last-known-good policy set (``note`` says why).
+    """
 
     __slots__ = (
         "record_id",
@@ -30,6 +40,8 @@ class DecisionRecord:
         "context",
         "enforced",
         "outcome_ok",
+        "degraded",
+        "note",
     )
 
     def __init__(
@@ -39,22 +51,28 @@ class DecisionRecord:
         policy_text: str,
         context: Context,
         enforced: bool = False,
+        degraded: bool = False,
+        note: str = "",
     ):
-        self.record_id = next(_counter)
+        self.record_id: Optional[int] = None  # assigned by MonitoringLog.append
         self.request = request
         self.decision = decision
         self.policy_text = policy_text
         self.context = context
         self.enforced = enforced
         self.outcome_ok: Optional[bool] = None
+        self.degraded = degraded
+        self.note = note
 
     def __repr__(self) -> str:
         outcome = (
             "?" if self.outcome_ok is None else ("ok" if self.outcome_ok else "BAD")
         )
+        ident = "?" if self.record_id is None else str(self.record_id)
+        flag = " DEGRADED" if self.degraded else ""
         return (
-            f"DecisionRecord(#{self.record_id} {self.decision.value} "
-            f"via {self.policy_text!r} [{outcome}])"
+            f"DecisionRecord(#{ident} {self.decision.value} "
+            f"via {self.policy_text!r} [{outcome}]{flag})"
         )
 
 
@@ -63,8 +81,11 @@ class MonitoringLog:
 
     def __init__(self) -> None:
         self._records: List[DecisionRecord] = []
+        self._ids = itertools.count(1)
 
     def append(self, record: DecisionRecord) -> DecisionRecord:
+        if record.record_id is None:
+            record.record_id = next(self._ids)
         self._records.append(record)
         return record
 
@@ -87,6 +108,10 @@ class MonitoringLog:
 
     def unreviewed(self) -> List[DecisionRecord]:
         return [r for r in self._records if r.outcome_ok is None]
+
+    def degradations(self) -> List[DecisionRecord]:
+        """Decisions served from a fallback path (budget/breaker events)."""
+        return [r for r in self._records if r.degraded]
 
     def clear(self) -> None:
         self._records.clear()

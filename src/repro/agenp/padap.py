@@ -34,11 +34,13 @@ class PolicyAdaptationPoint:
         representations: RepresentationsRepository,
         pcp: Optional[PolicyCheckingPoint] = None,
         max_violations: int = 0,
+        budget_factory=None,
     ):
         self.hypothesis_space = list(hypothesis_space)
         self.representations = representations
         self.pcp = pcp
         self.max_violations = max_violations
+        self.budget_factory = budget_factory
         self.examples: List[LabeledExample] = []
 
     # -- example management -----------------------------------------------
@@ -78,8 +80,9 @@ class PolicyAdaptationPoint:
 
     def needs_adaptation(self, log: MonitoringLog) -> bool:
         """Adaptation triggers when the system "is not meeting the goals":
-        any decision outcome was flagged bad."""
-        return bool(log.violations())
+        any decision outcome was flagged bad, or decisions were served
+        degraded (the PDP fell back because of resource exhaustion)."""
+        return bool(log.violations()) or bool(log.degradations())
 
     def adapt(self) -> Tuple[GenerativePolicyModel, Optional[LearnedHypothesis]]:
         """Relearn the GPM over all accumulated examples and store it.
@@ -87,20 +90,27 @@ class PolicyAdaptationPoint:
         On an unsatisfiable task the learner retries with growing
         violation budgets (noisy feedback is a fact of coalition life —
         paper Section IV.C); the last resort keeps the current model.
+        With a ``budget_factory``, each learning attempt runs under a
+        fresh resource budget; a budget-exhausted attempt yields the
+        learner's degraded best-so-far hypothesis rather than stalling.
         """
         model = self.representations.latest()
-        budget = self.max_violations
+        allowed = self.max_violations
         while True:
             try:
+                learn_budget = (
+                    self.budget_factory() if self.budget_factory is not None else None
+                )
                 new_model, result = learn_gpm(
                     model,
                     self.hypothesis_space,
                     self.examples,
-                    max_violations=budget,
+                    max_violations=allowed,
+                    budget=learn_budget,
                 )
                 self.representations.store(new_model)
                 return new_model, result
             except UnsatisfiableTaskError:
-                budget += 1
-                if budget > self.max_violations + len(self.examples):
+                allowed += 1
+                if allowed > self.max_violations + len(self.examples):
                     return model, None

@@ -21,6 +21,7 @@ from repro.asg.annotated import ASG
 from repro.grammar.cfg import SymbolString
 from repro.grammar.earley import parse_trees
 from repro.grammar.parse_tree import ParseTree, Trace
+from repro.runtime.budget import Budget
 
 __all__ = [
     "reroot_rule",
@@ -73,29 +74,40 @@ def tree_program(asg: ASG, tree: ParseTree) -> Program:
 
 
 def tree_answer_sets(
-    asg: ASG, tree: ParseTree, max_models: Optional[int] = None
+    asg: ASG,
+    tree: ParseTree,
+    max_models: Optional[int] = None,
+    budget: Optional[Budget] = None,
 ) -> List[AnswerSet]:
     """Answer sets of ``G[PT]`` for one parse tree."""
-    return solve(tree_program(asg, tree), max_models=max_models)
+    return solve(tree_program(asg, tree), max_models=max_models, budget=budget)
 
 
 def accepts(
     asg: ASG,
     tokens: SymbolString,
     max_trees: int = 256,
+    budget: Optional[Budget] = None,
 ) -> bool:
     """Membership: is ``tokens`` in ``L(G)``?
 
     True iff some parse tree of the underlying CFG induces a satisfiable
     program.  A string outside the CFG language is trivially rejected.
+    ``budget`` (explicit or ambient) bounds parsing and every per-tree
+    solve — membership is the hot path of PCP validation, so one budget
+    covers the whole check.
     """
-    return accepting_witness(asg, tokens, max_trees=max_trees) is not None
+    return (
+        accepting_witness(asg, tokens, max_trees=max_trees, budget=budget)
+        is not None
+    )
 
 
 def accepting_witness(
     asg: ASG,
     tokens: SymbolString,
     max_trees: int = 256,
+    budget: Optional[Budget] = None,
 ) -> Optional[Tuple[ParseTree, AnswerSet]]:
     """Return a witness ``(parse tree, answer set)`` for membership, or None.
 
@@ -103,8 +115,8 @@ def accepting_witness(
     is valid (paper Section V.B): the tree shows the syntactic derivation
     and the answer set shows which semantic conditions held.
     """
-    for tree in parse_trees(asg.cfg, tuple(tokens), max_trees=max_trees):
-        models = tree_answer_sets(asg, tree, max_models=1)
+    for tree in parse_trees(asg.cfg, tuple(tokens), max_trees=max_trees, budget=budget):
+        models = tree_answer_sets(asg, tree, max_models=1, budget=budget)
         if models:
             return tree, models[0]
     return None

@@ -7,6 +7,12 @@ higher layers::
     >>> models = solve_text("a :- not b. b :- not a.")
     >>> sorted(sorted(str(x) for x in m) for m in models)
     [['a'], ['b']]
+
+All entry points take an optional :class:`~repro.runtime.budget.Budget`
+that bounds grounding + solving (they also honour the ambient budget
+installed by :func:`~repro.runtime.budget.budget_scope`), raising
+:class:`~repro.errors.BudgetExceededError` /
+:class:`~repro.errors.SolveTimeoutError` when exhausted.
 """
 
 from __future__ import annotations
@@ -16,25 +22,34 @@ from typing import List, Optional
 from repro.asp.parser import parse_program
 from repro.asp.rules import Program
 from repro.asp.solver import AnswerSet, solve
+from repro.runtime.budget import Budget
 
 __all__ = ["solve_text", "is_satisfiable_text", "solve_program", "is_satisfiable"]
 
 
-def solve_text(text: str, max_models: Optional[int] = None) -> List[AnswerSet]:
+def solve_text(
+    text: str,
+    max_models: Optional[int] = None,
+    budget: Optional[Budget] = None,
+) -> List[AnswerSet]:
     """Parse, ground, and solve ASP source text."""
-    return solve(parse_program(text), max_models=max_models)
+    return solve(parse_program(text), max_models=max_models, budget=budget)
 
 
-def is_satisfiable_text(text: str) -> bool:
+def is_satisfiable_text(text: str, budget: Optional[Budget] = None) -> bool:
     """True iff the program given as source text has at least one answer set."""
-    return bool(solve_text(text, max_models=1))
+    return bool(solve_text(text, max_models=1, budget=budget))
 
 
-def solve_program(program: Program, max_models: Optional[int] = None) -> List[AnswerSet]:
+def solve_program(
+    program: Program,
+    max_models: Optional[int] = None,
+    budget: Optional[Budget] = None,
+) -> List[AnswerSet]:
     """Ground and solve an in-memory :class:`Program`."""
-    return solve(program, max_models=max_models)
+    return solve(program, max_models=max_models, budget=budget)
 
 
-def is_satisfiable(program: Program) -> bool:
+def is_satisfiable(program: Program, budget: Optional[Budget] = None) -> bool:
     """True iff ``program`` has at least one answer set."""
-    return bool(solve(program, max_models=1))
+    return bool(solve(program, max_models=1, budget=budget))

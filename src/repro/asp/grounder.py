@@ -42,6 +42,7 @@ from repro.asp.terms import (
     Variable,
 )
 from repro.errors import GroundingError, UnsafeRuleError
+from repro.runtime.budget import Budget, current_budget
 
 __all__ = ["ground_program", "GroundProgram", "match_atom"]
 
@@ -293,12 +294,21 @@ def _evaluate_atom(atom: Atom) -> Optional[Atom]:
 # Main entry point
 
 
-def ground_program(program: Program, max_atoms: int = 2_000_000) -> GroundProgram:
+def ground_program(
+    program: Program,
+    max_atoms: int = 2_000_000,
+    budget: Optional[Budget] = None,
+) -> GroundProgram:
     """Ground ``program``.
 
     ``max_atoms`` bounds the possible-atom set as a runaway guard
-    (raises :class:`GroundingError` when exceeded).
+    (raises :class:`GroundingError` when exceeded).  ``budget``
+    (explicit or ambient) is ticked once per enumerated substitution in
+    both phases, so step budgets and deadlines interrupt grounding
+    before the possible-atom set explodes.
     """
+    if budget is None:
+        budget = current_budget()
     plans: List[Tuple[Rule, List[BodyElement]]] = []
     for rule in program:
         plans.append((rule, order_body(rule)))
@@ -312,6 +322,8 @@ def ground_program(program: Program, max_atoms: int = 2_000_000) -> GroundProgra
         changed = False
         for rule, plan in plans:
             for theta in _enumerate(plan, index, {}, positives_only=True):
+                if budget is not None:
+                    budget.tick()
                 heads: List[Atom] = []
                 if isinstance(rule, NormalRule):
                     if rule.head is not None:
@@ -338,6 +350,8 @@ def ground_program(program: Program, max_atoms: int = 2_000_000) -> GroundProgra
     seen_weak: Set[WeakConstraint] = set()
     for rule, plan in plans:
         for theta in _enumerate(plan, index, {}, positives_only=False):
+            if budget is not None:
+                budget.tick()
             body: List[BodyElement] = []
             viable = True
             for elem in rule.body:

@@ -34,7 +34,8 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence
 from repro.asp.atoms import Atom, Literal
 from repro.asp.grounder import GroundProgram, ground_program
 from repro.asp.rules import ChoiceRule, NormalRule, Program
-from repro.errors import SolverError
+from repro.errors import BudgetExceededError
+from repro.runtime.budget import Budget, current_budget
 
 __all__ = ["AnswerSetSolver", "solve", "AnswerSet"]
 
@@ -59,11 +60,27 @@ class _Rule:
 
 
 class AnswerSetSolver:
-    """Enumerate the answer sets of a ground program."""
+    """Enumerate the answer sets of a ground program.
 
-    def __init__(self, ground: GroundProgram, max_steps: int = 50_000_000):
+    Resource governance: ``max_steps`` (default 50 million propagation
+    passes — effectively "never" for the policy-layer programs, a
+    runaway guard for adversarial ones) bounds the internal step count;
+    exhausting it raises :class:`~repro.errors.BudgetExceededError`
+    carrying ``steps_used``.  An explicit ``budget`` (or, when omitted,
+    the ambient :func:`~repro.runtime.budget.current_budget`) is ticked
+    once per propagation pass, so wall-clock deadlines and shared step
+    budgets interrupt the solver mid-solve.
+    """
+
+    def __init__(
+        self,
+        ground: GroundProgram,
+        max_steps: int = 50_000_000,
+        budget: Optional[Budget] = None,
+    ):
         self._max_steps = max_steps
         self._steps = 0
+        self._budget = budget if budget is not None else current_budget()
 
         self._atoms: List[Atom] = []
         self._ids: Dict[Atom, int] = {}
@@ -123,6 +140,11 @@ class AnswerSetSolver:
                 self._bounds.append((cbody, tuple(element_ids), choice.lower, choice.upper))
 
     # -- solving -------------------------------------------------------------
+
+    @property
+    def steps_used(self) -> int:
+        """Propagation passes consumed so far (for post-mortem telemetry)."""
+        return self._steps
 
     def solve(self, max_models: Optional[int] = None) -> List[AnswerSet]:
         """Return up to ``max_models`` answer sets (all if ``None``).
@@ -194,7 +216,13 @@ class AnswerSetSolver:
         while changed:
             self._steps += 1
             if self._steps > self._max_steps:
-                raise SolverError("solver step limit exceeded")
+                raise BudgetExceededError(
+                    "solver step limit exceeded",
+                    steps_used=self._steps,
+                    max_steps=self._max_steps,
+                )
+            if self._budget is not None:
+                self._budget.tick()
             changed = False
             # rule-based propagation
             for rule in self._rules:
@@ -327,10 +355,17 @@ def solve(
     program: Program,
     max_models: Optional[int] = None,
     max_steps: int = 50_000_000,
+    budget: Optional[Budget] = None,
 ) -> List[AnswerSet]:
-    """Ground and solve ``program``; return its answer sets."""
-    ground = ground_program(program)
-    return AnswerSetSolver(ground, max_steps=max_steps).solve(max_models=max_models)
+    """Ground and solve ``program``; return its answer sets.
+
+    ``budget`` (explicit or ambient) governs both phases: grounding and
+    solving tick the same budget.
+    """
+    ground = ground_program(program, budget=budget)
+    return AnswerSetSolver(ground, max_steps=max_steps, budget=budget).solve(
+        max_models=max_models
+    )
 
 
 CostVector = Tuple[Tuple[int, int], ...]
@@ -365,6 +400,7 @@ def solve_optimal(
     program: Program,
     max_steps: int = 50_000_000,
     max_candidates: int = 100_000,
+    budget: Optional[Budget] = None,
 ) -> Tuple[List[AnswerSet], CostVector]:
     """All cost-optimal answer sets of a program with weak constraints.
 
@@ -373,8 +409,8 @@ def solve_optimal(
     the optimal cost vector.  Without weak constraints every answer set
     is optimal at the empty cost.
     """
-    ground = ground_program(program)
-    solver = AnswerSetSolver(ground, max_steps=max_steps)
+    ground = ground_program(program, budget=budget)
+    solver = AnswerSetSolver(ground, max_steps=max_steps, budget=budget)
     models = solver.solve(max_models=max_candidates)
     if not models:
         return [], ()

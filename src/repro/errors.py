@@ -13,6 +13,48 @@ class ReproError(Exception):
     """Base class for all errors raised by this package."""
 
 
+class ResourceError(ReproError):
+    """Base class for resource-governance errors (budgets, deadlines,
+    cooperative cancellation).  Raised by any subsystem running under a
+    :class:`repro.runtime.Budget`."""
+
+
+class BudgetExceededError(ResourceError):
+    """Raised when a step budget is exhausted mid-computation."""
+
+    def __init__(
+        self,
+        message: str = "step budget exceeded",
+        steps_used: int = 0,
+        max_steps: int = 0,
+    ):
+        self.steps_used = steps_used
+        self.max_steps = max_steps
+        if max_steps:
+            message = f"{message} ({steps_used} steps used, limit {max_steps})"
+        super().__init__(message)
+
+
+class SolveTimeoutError(ResourceError):
+    """Raised when a wall-clock deadline passes mid-computation."""
+
+    def __init__(
+        self,
+        message: str = "wall-clock deadline exceeded",
+        elapsed: float = 0.0,
+        limit: float = 0.0,
+    ):
+        self.elapsed = elapsed
+        self.limit = limit
+        if limit:
+            message = f"{message} ({elapsed:.3f}s elapsed, limit {limit:.3f}s)"
+        super().__init__(message)
+
+
+class OperationCancelledError(ResourceError):
+    """Raised when a budget was cooperatively cancelled from outside."""
+
+
 class ASPError(ReproError):
     """Base class for errors raised by the ASP subsystem."""
 

@@ -25,12 +25,21 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple
 from repro.errors import AmbiguityLimitError, GrammarError
 from repro.grammar.cfg import CFG, Production, Symbol, SymbolString
 from repro.grammar.parse_tree import ParseTree
+from repro.runtime.budget import Budget, current_budget
 
 __all__ = ["recognize", "parse_trees"]
 
 
-def recognize(grammar: CFG, tokens: SymbolString) -> bool:
-    """True iff ``tokens`` is in the language of ``grammar``'s CFG."""
+def recognize(
+    grammar: CFG, tokens: SymbolString, budget: Optional[Budget] = None
+) -> bool:
+    """True iff ``tokens`` is in the language of ``grammar``'s CFG.
+
+    ``budget`` (explicit or ambient) is ticked once per processed chart
+    state, bounding the O(n³) worst case.
+    """
+    if budget is None:
+        budget = current_budget()
     for token in tokens:
         if token not in grammar.terminals:
             return False
@@ -51,6 +60,8 @@ def recognize(grammar: CFG, tokens: SymbolString) -> bool:
     for i in range(n + 1):
         agenda = agenda0 if i == 0 else list(chart[i])
         while agenda:
+            if budget is not None:
+                budget.tick()
             prod_id, dot, origin = agenda.pop()
             prod = grammar.production(prod_id)
             if dot < len(prod.rhs):
@@ -81,15 +92,24 @@ def recognize(grammar: CFG, tokens: SymbolString) -> bool:
 class _TreeExtractor:
     """Enumerate all parse trees of each (nonterminal, span) pair."""
 
-    def __init__(self, grammar: CFG, tokens: SymbolString, max_trees: int):
+    def __init__(
+        self,
+        grammar: CFG,
+        tokens: SymbolString,
+        max_trees: int,
+        budget: Optional[Budget] = None,
+    ):
         self.grammar = grammar
         self.tokens = tokens
         self.max_trees = max_trees
+        self.budget = budget
         self._memo: Dict[Tuple[Symbol, int, int], List[ParseTree]] = {}
         self._active: Set[Tuple[Symbol, int, int]] = set()
         self.truncated = False
 
     def trees(self, symbol: Symbol, start: int, end: int) -> List[ParseTree]:
+        if self.budget is not None:
+            self.budget.tick()
         key = (symbol, start, end)
         cached = self._memo.get(key)
         if cached is not None:
@@ -151,19 +171,23 @@ def parse_trees(
     tokens: SymbolString,
     max_trees: int = 256,
     strict: bool = False,
+    budget: Optional[Budget] = None,
 ) -> List[ParseTree]:
     """All parse trees of ``tokens`` (up to ``max_trees``).
 
     Returns an empty list for strings outside the language.  With
     ``strict=True``, exceeding ``max_trees`` raises
     :class:`AmbiguityLimitError` instead of silently truncating.
+    ``budget`` (explicit or ambient) bounds recognition and extraction.
     """
+    if budget is None:
+        budget = current_budget()
     for token in tokens:
         if token not in grammar.terminals:
             return []
-    if not recognize(grammar, tokens):
+    if not recognize(grammar, tokens, budget=budget):
         return []
-    extractor = _TreeExtractor(grammar, tokens, max_trees)
+    extractor = _TreeExtractor(grammar, tokens, max_trees, budget=budget)
     trees = extractor.trees(grammar.start, 0, len(tokens))
     if extractor.truncated:
         if strict:

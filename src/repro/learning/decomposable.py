@@ -23,12 +23,14 @@ with the full oracle; on mismatch the caller should fall back to
 
 from __future__ import annotations
 
+import contextlib
 import time
 from typing import List, Optional, Sequence, Tuple
 
-from repro.errors import LearningError, UnsatisfiableTaskError
+from repro.errors import LearningError, ResourceError, UnsatisfiableTaskError
 from repro.learning.ilasp import ILASPLearner, LearnedHypothesis
 from repro.learning.mode_bias import CandidateRule
+from repro.runtime.budget import Budget, budget_scope
 
 __all__ = ["DecomposableLearner", "learn_auto"]
 
@@ -378,6 +380,7 @@ def learn_auto(
     max_violations: int = 0,
     auto_violations: bool = True,
     fallback: bool = True,
+    budget: Optional[Budget] = None,
     **ilasp_kwargs,
 ) -> LearnedHypothesis:
     """Try the fast decomposable learner; optionally fall back to the exact one.
@@ -392,33 +395,40 @@ def learn_auto(
     solution (though, unlike the exact learner, not guaranteed
     cost-minimal when rules interact).
     """
-    budgets = [max_violations]
-    if auto_violations:
-        total_weight = sum(e.weight for e in task.positive) + sum(
-            e.weight for e in task.negative
-        )
-        budget = max(max_violations, 1)
-        while budget < total_weight:
-            budget *= 2
-            budgets.append(min(budget, total_weight))
-    last_error: Optional[LearningError] = None
-    for budget in budgets:
-        try:
-            return DecomposableLearner(
-                task, max_rules=max_rules, max_violations=budget
-            ).learn()
-        except UnsatisfiableTaskError as error:
-            last_error = error
-        except LearningError as error:
-            last_error = error
-            break  # verification failure: budgets will not help
-    if fallback:
-        learner = ILASPLearner(
-            task,
-            max_rules=min(max_rules, 4),
-            max_violations=max_violations,
-            **ilasp_kwargs,
-        )
-        return learner.learn()
-    assert last_error is not None
-    raise last_error
+    scope = budget_scope(budget) if budget is not None else contextlib.nullcontext()
+    with scope:
+        violation_budgets = [max_violations]
+        if auto_violations:
+            total_weight = sum(e.weight for e in task.positive) + sum(
+                e.weight for e in task.negative
+            )
+            allowed = max(max_violations, 1)
+            while allowed < total_weight:
+                allowed *= 2
+                violation_budgets.append(min(allowed, total_weight))
+        last_error: Optional[LearningError] = None
+        for allowed in violation_budgets:
+            try:
+                return DecomposableLearner(
+                    task, max_rules=max_rules, max_violations=allowed
+                ).learn()
+            except UnsatisfiableTaskError as error:
+                last_error = error
+            except ResourceError:
+                if not fallback:
+                    raise
+                break  # out of budget on the fast path: let the exact
+                # learner degrade gracefully with its best-so-far
+            except LearningError as error:
+                last_error = error
+                break  # verification failure: budgets will not help
+        if fallback:
+            learner = ILASPLearner(
+                task,
+                max_rules=min(max_rules, 4),
+                max_violations=max_violations,
+                **ilasp_kwargs,
+            )
+            return learner.learn()
+        assert last_error is not None
+        raise last_error

@@ -32,17 +32,25 @@ few examples as possible, with cost as a tie-break.
 
 from __future__ import annotations
 
+import contextlib
 import time
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from repro.errors import LearningError, UnsatisfiableTaskError
+from repro.errors import LearningError, ResourceError, UnsatisfiableTaskError
 from repro.learning.mode_bias import CandidateRule
+from repro.runtime.budget import Budget, budget_scope
 
 __all__ = ["LearnedHypothesis", "ILASPLearner", "learn"]
 
 
 class LearnedHypothesis:
-    """The result of a learning run: the hypothesis and search statistics."""
+    """The result of a learning run: the hypothesis and search statistics.
+
+    ``degraded`` marks a best-so-far hypothesis returned because a
+    resource budget ran out before the search completed: it is the
+    least-violating (then cheapest) hypothesis evaluated so far, with no
+    optimality guarantee.
+    """
 
     def __init__(
         self,
@@ -51,12 +59,14 @@ class LearnedHypothesis:
         violations: int,
         checks: int,
         elapsed: float,
+        degraded: bool = False,
     ):
         self.candidates = candidates
         self.cost = cost
         self.violations = violations
         self.checks = checks
         self.elapsed = elapsed
+        self.degraded = degraded
 
     @property
     def rules(self):
@@ -79,15 +89,21 @@ class ILASPLearner:
         max_rules: int = 4,
         max_checks: int = 500_000,
         max_violations: int = 0,
+        budget: Optional[Budget] = None,
+        degrade_on_exhaustion: bool = True,
     ):
         self.task = task
         self.max_cost = max_cost
         self.max_rules = max_rules
         self.max_checks = max_checks
         self.max_violations = max_violations
+        self.budget = budget
+        self.degrade_on_exhaustion = degrade_on_exhaustion
         self._memo: Dict[Tuple[FrozenSet[tuple], int, bool], bool] = {}
         self._checks = 0
         self._constraints_only = task.constraints_only()
+        # best-so-far for degraded returns: (violation weight, cost, hypothesis)
+        self._best: Optional[Tuple[int, int, List[CandidateRule]]] = None
 
     # -- oracle with memoization ------------------------------------------
 
@@ -114,6 +130,8 @@ class ILASPLearner:
 
     def _bump(self) -> None:
         self._checks += 1
+        if self.budget is not None:
+            self.budget.tick()
         if self._checks > self.max_checks:
             raise LearningError(
                 f"learning exceeded {self.max_checks} coverage checks; "
@@ -143,24 +161,68 @@ class ILASPLearner:
 
     def learn(self) -> LearnedHypothesis:
         """Find a minimal hypothesis; raise :class:`UnsatisfiableTaskError`
-        if none exists within the limits."""
+        if none exists within the limits.
+
+        Under a resource budget (the learner's own, or an ambient
+        :func:`~repro.runtime.budget.budget_scope` governing the oracle's
+        solver calls), exhaustion does not kill the run: with
+        ``degrade_on_exhaustion`` (the default) the least-violating
+        hypothesis evaluated so far is returned with ``degraded=True``.
+        """
         start = time.monotonic()
-        space = self._prefiltered_space()
-        for budget in range(0, self.max_violations + 1):
-            found = self._search_with_violations(space, budget)
-            if found is not None:
-                hypothesis, cost = found
-                return LearnedHypothesis(
-                    hypothesis,
-                    cost,
-                    self._violation_weight(hypothesis),
-                    self._checks,
-                    time.monotonic() - start,
-                )
+        scope = (
+            budget_scope(self.budget)
+            if self.budget is not None
+            else contextlib.nullcontext()
+        )
+        try:
+            with scope:
+                space = self._prefiltered_space()
+                for allowed in range(0, self.max_violations + 1):
+                    found = self._search_with_violations(space, allowed)
+                    if found is not None:
+                        hypothesis, cost = found
+                        return LearnedHypothesis(
+                            hypothesis,
+                            cost,
+                            self._violation_weight(hypothesis),
+                            self._checks,
+                            time.monotonic() - start,
+                        )
+        except ResourceError:
+            if not self.degrade_on_exhaustion:
+                raise
+            return self._degraded_result(start)
         raise UnsatisfiableTaskError(
             f"no hypothesis within cost {self.max_cost}, "
             f"{self.max_rules} rules, {self.max_violations} violations"
         )
+
+    def _degraded_result(self, start: float) -> LearnedHypothesis:
+        """Best-so-far hypothesis after budget exhaustion."""
+        if self._best is not None:
+            violations, cost, hypothesis = self._best
+        else:
+            # not even the empty hypothesis was evaluated: report it with
+            # the trivial upper bound on violations (every example missed)
+            hypothesis, cost = [], 0
+            violations = sum(e.weight for e in self.task.positive) + sum(
+                e.weight for e in self.task.negative
+            )
+        return LearnedHypothesis(
+            list(hypothesis),
+            cost,
+            violations,
+            self._checks,
+            time.monotonic() - start,
+            degraded=True,
+        )
+
+    def _note_best(
+        self, hypothesis: List[CandidateRule], cost: int, violations: int
+    ) -> None:
+        if self._best is None or (violations, cost) < self._best[:2]:
+            self._best = (violations, cost, list(hypothesis))
 
     def _prefiltered_space(self) -> List[CandidateRule]:
         space = sorted(self.task.hypothesis_space, key=lambda c: c.cost)
@@ -184,11 +246,6 @@ class ILASPLearner:
                 return result
         return None
 
-    def _acceptable(
-        self, hypothesis: List[CandidateRule], violation_budget: int
-    ) -> bool:
-        return self._violation_weight(hypothesis) <= violation_budget
-
     def _dfs(
         self,
         space: List[CandidateRule],
@@ -198,7 +255,9 @@ class ILASPLearner:
         cost_budget: int,
         violation_budget: int,
     ) -> Optional[Tuple[List[CandidateRule], int]]:
-        if self._acceptable(current, violation_budget):
+        weight = self._violation_weight(current)
+        self._note_best(current, cost, weight)
+        if weight <= violation_budget:
             return (list(current), cost)
         if index >= len(space) or len(current) >= self.max_rules:
             return None
@@ -229,6 +288,8 @@ def learn(
     max_rules: int = 4,
     max_checks: int = 500_000,
     max_violations: int = 0,
+    budget: Optional[Budget] = None,
+    degrade_on_exhaustion: bool = True,
 ) -> LearnedHypothesis:
     """Convenience wrapper: build an :class:`ILASPLearner` and run it."""
     return ILASPLearner(
@@ -237,4 +298,6 @@ def learn(
         max_rules=max_rules,
         max_checks=max_checks,
         max_violations=max_violations,
+        budget=budget,
+        degrade_on_exhaustion=degrade_on_exhaustion,
     ).learn()

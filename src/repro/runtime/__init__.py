@@ -1,0 +1,26 @@
+"""Resource governance: budgets, deadlines, ambient scopes, breakers.
+
+This subsystem exists so that no solver/learner call in the framework
+can run unbounded (ROADMAP: "you cannot scale what you cannot bound or
+retry").  See :mod:`repro.runtime.budget` for the governance model and
+:mod:`repro.runtime.breaker` for the degradation primitive used by the
+PDP.
+"""
+
+from repro.runtime.breaker import CircuitBreaker
+from repro.runtime.budget import (
+    Budget,
+    Deadline,
+    budget_scope,
+    current_budget,
+    spend,
+)
+
+__all__ = [
+    "Budget",
+    "CircuitBreaker",
+    "Deadline",
+    "budget_scope",
+    "current_budget",
+    "spend",
+]

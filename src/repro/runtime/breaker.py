@@ -1,0 +1,91 @@
+"""A circuit breaker for solver-backed decision paths.
+
+Classic three-state breaker (closed -> open -> half-open) with an
+injectable clock so tests can drive recovery deterministically.  The PDP
+wraps solver-backed interpretation in one of these: after
+``failure_threshold`` consecutive failures the breaker opens and the
+PDP stops attempting the expensive path entirely, serving its fallback
+decision until ``recovery_time`` has passed; the first trial call after
+that (half-open) closes the breaker on success or re-opens it on
+failure.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with timed recovery."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        recovery_time: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.recovery_time = recovery_time
+        self._clock = clock
+        self._failures = 0
+        self._opened_at: float = 0.0
+        self._state = self.CLOSED
+        # cumulative telemetry
+        self.total_failures = 0
+        self.total_successes = 0
+        self.times_opened = 0
+
+    @property
+    def state(self) -> str:
+        if self._state == self.OPEN and (
+            self._clock() - self._opened_at >= self.recovery_time
+        ):
+            return self.HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """May the protected call be attempted right now?"""
+        state = self.state
+        if state == self.CLOSED:
+            return True
+        if state == self.HALF_OPEN:
+            return True  # one trial call; its outcome decides the next state
+        return False
+
+    def record_success(self) -> None:
+        self.total_successes += 1
+        self._failures = 0
+        self._state = self.CLOSED
+
+    def record_failure(self) -> None:
+        self.total_failures += 1
+        if self.state == self.HALF_OPEN:
+            # failed trial: re-open and restart the recovery clock
+            self._state = self.OPEN
+            self._opened_at = self._clock()
+            self.times_opened += 1
+            return
+        self._failures += 1
+        if self._failures >= self.failure_threshold:
+            self._state = self.OPEN
+            self._opened_at = self._clock()
+            self.times_opened += 1
+
+    def reset(self) -> None:
+        self._failures = 0
+        self._state = self.CLOSED
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker({self.state}, {self._failures}/"
+            f"{self.failure_threshold} consecutive failures)"
+        )

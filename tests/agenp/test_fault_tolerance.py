@@ -1,0 +1,210 @@
+"""Fault injection and the reliable share protocol.
+
+These tests drive :mod:`repro.agenp.coalition` with a lightweight stub
+AMS (no grammar, no solver) so protocol behaviour — dedup, retransmit,
+crash/restart, convergence — can be exercised over many fault plans
+quickly.
+"""
+
+import pytest
+
+from repro.agenp.coalition import (
+    Coalition,
+    CoalitionNetwork,
+    CoalitionParty,
+    FaultPlan,
+)
+from repro.errors import AgenpError
+
+
+class _StubContext:
+    name = "normal"
+
+
+class _StubModel:
+    version = 1
+
+
+class _StubRepository:
+    """Holds StoredPolicy-alikes; only ``by_source`` and ``add`` are used."""
+
+    def __init__(self, local_policies):
+        self._local = list(local_policies)
+        self.added = []
+
+    def by_source(self, source):
+        return list(self._local) if source == "local" else []
+
+    def add(self, policy):
+        self.added.append(policy)
+
+
+class _StubPolicy:
+    def __init__(self, tokens):
+        self.tokens = tuple(tokens)
+
+
+class _StubOutcome:
+    accepted = True
+
+
+class _StubPCP:
+    def check_policy(self, candidate, model, context):
+        return _StubOutcome()
+
+
+class StubAMS:
+    """The minimal surface CoalitionParty touches."""
+
+    def __init__(self, name, policies=("allow", "read")):
+        self.name = name
+        self.policy_repository = _StubRepository(
+            [_StubPolicy(policies)] if policies else []
+        )
+        self.pcp = _StubPCP()
+
+    def current_context(self):
+        return _StubContext()
+
+    def model(self):
+        return _StubModel()
+
+
+def build_coalition(fault_plan=None, parties=3, reliable=True, n_policies=2):
+    network = CoalitionNetwork(fault_plan=fault_plan)
+    members = []
+    for i in range(parties):
+        ams = StubAMS(f"p{i}", policies=None)
+        ams.policy_repository = _StubRepository(
+            [_StubPolicy(("rule", f"p{i}", str(j))) for j in range(n_policies)]
+        )
+        members.append(CoalitionParty(ams, network, reliable=reliable))
+    return Coalition(members), network
+
+
+# -- fault plan determinism ---------------------------------------------------
+
+
+def test_fault_plan_is_deterministic():
+    def stats(seed):
+        plan = FaultPlan(seed=seed, drop_rate=0.4, duplicate_rate=0.2, delay_rate=0.2)
+        coalition, network = build_coalition(fault_plan=plan)
+        coalition.run(6)
+        return (network.sent, network.dropped, network.duplicated, network.delayed)
+
+    assert stats(11) == stats(11)
+    # different seed, different fault sequence (overwhelmingly likely)
+    assert stats(11) != stats(12)
+
+
+def test_fault_plan_validates_rates():
+    with pytest.raises(AgenpError):
+        FaultPlan(drop_rate=1.0)
+    with pytest.raises(AgenpError):
+        FaultPlan(max_delay=0)
+
+
+def test_crash_windows_take_party_down():
+    plan = FaultPlan(crash_windows={"p1": [(2, 4)]})
+    coalition, network = build_coalition(fault_plan=plan)
+    p1 = coalition.parties[1]
+    coalition.round()  # tick 1: up
+    assert p1.live
+    coalition.round()  # tick 2: window opens
+    assert not p1.live
+    coalition.round()  # tick 3: still down
+    assert not p1.live
+    coalition.round()  # tick 4: window closed (half-open interval)
+    assert p1.live
+
+
+# -- duplicate suppression ----------------------------------------------------
+
+
+def test_duplicates_never_double_adopt():
+    plan = FaultPlan(seed=3, duplicate_rate=0.9)
+    coalition, network = build_coalition(fault_plan=plan)
+    coalition.run_until_converged(max_rounds=10)
+    assert network.duplicated > 0
+    for party in coalition.parties:
+        repo = party.ams.policy_repository
+        keys = [tuple(p.tokens) for p in repo.added]
+        assert len(keys) == len(set(keys)), "a duplicated share was adopted twice"
+        # 2 policies from each of 2 peers
+        assert len(keys) == 4
+
+
+def test_retransmits_never_double_adopt():
+    plan = FaultPlan(seed=9, drop_rate=0.5)
+    coalition, network = build_coalition(fault_plan=plan)
+    coalition.run_until_converged(max_rounds=40)
+    assert sum(p.retransmissions for p in coalition.parties) > 0
+    for party in coalition.parties:
+        keys = [tuple(p.tokens) for p in party.ams.policy_repository.added]
+        assert len(keys) == len(set(keys))
+
+
+# -- reliability ablation ------------------------------------------------------
+
+
+def test_reliable_converges_where_fire_and_forget_fails():
+    plan_args = dict(seed=21, drop_rate=0.3, duplicate_rate=0.15, reorder_rate=0.15)
+    reliable, __ = build_coalition(FaultPlan(**plan_args), reliable=True)
+    lossy, __n = build_coalition(FaultPlan(**plan_args), reliable=False)
+    assert reliable.run_until_converged(max_rounds=40) is not None
+    assert lossy.run_until_converged(max_rounds=40) is None
+
+
+def test_faultless_network_converges_in_one_round():
+    coalition, __ = build_coalition()
+    assert coalition.run_until_converged(max_rounds=5) == 1
+
+
+# -- crash and restart --------------------------------------------------------
+
+
+def test_restarted_party_still_receives_everything():
+    plan = FaultPlan(crash_windows={"p2": [(1, 4)]})
+    coalition, __ = build_coalition(fault_plan=plan)
+    # convergence is defined over *live* parties, so drive rounds through
+    # the crash window first; retransmits then repair the restarted party
+    coalition.run(4)
+    rounds = coalition.run_until_converged(max_rounds=40)
+    assert rounds is not None
+    p2 = coalition.parties[2]
+    assert len(p2.ams.policy_repository.added) == 4  # nothing lost to the crash
+
+
+def test_manual_crash_and_restart():
+    coalition, network = build_coalition()
+    party = coalition.parties[0]
+    party.crash()
+    assert not party.live
+    assert network.is_down("p0")
+    coalition.round()
+    party.restart()
+    assert party.live
+    assert coalition.run_until_converged(max_rounds=20) is not None
+
+
+# -- seeded property-style sweep ----------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_share_protocol_converges_for_every_fault_plan(seed):
+    """Property: for any (seeded) plan in this family, the reliable
+    protocol converges and every party ends with the full policy set."""
+    plan = FaultPlan(
+        seed=seed,
+        drop_rate=0.25,
+        duplicate_rate=0.2,
+        reorder_rate=0.2,
+        delay_rate=0.2,
+        max_delay=2,
+    )
+    coalition, network = build_coalition(fault_plan=plan)
+    rounds = coalition.run_until_converged(max_rounds=60)
+    assert rounds is not None, f"seed {seed} did not converge"
+    assert coalition.converged()
+    for party in coalition.parties:
+        assert len(party.ams.policy_repository.added) == 4

@@ -1,0 +1,90 @@
+"""CircuitBreaker state machine."""
+
+from repro.runtime.breaker import CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+def make(threshold=3, recovery=30.0):
+    clock = FakeClock()
+    return CircuitBreaker(
+        failure_threshold=threshold, recovery_time=recovery, clock=clock
+    ), clock
+
+
+def test_starts_closed_and_allows():
+    breaker, __ = make()
+    assert breaker.state == CircuitBreaker.CLOSED
+    assert breaker.allow()
+
+
+def test_opens_after_threshold_consecutive_failures():
+    breaker, __ = make(threshold=3)
+    for __i in range(2):
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+    breaker.record_failure()
+    assert breaker.state == CircuitBreaker.OPEN
+    assert not breaker.allow()
+    assert breaker.times_opened == 1
+
+
+def test_success_resets_failure_streak():
+    breaker, __ = make(threshold=2)
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    assert breaker.state == CircuitBreaker.CLOSED  # streak broken, never reached 2
+
+
+def test_half_open_after_recovery_window():
+    breaker, clock = make(threshold=1, recovery=30.0)
+    breaker.record_failure()
+    assert breaker.state == CircuitBreaker.OPEN
+    clock.now = 31.0
+    assert breaker.state == CircuitBreaker.HALF_OPEN
+    assert breaker.allow()  # one probe allowed
+
+
+def test_half_open_success_closes():
+    breaker, clock = make(threshold=1, recovery=30.0)
+    breaker.record_failure()
+    clock.now = 31.0
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state == CircuitBreaker.CLOSED
+    assert breaker.allow()
+
+
+def test_half_open_failure_reopens():
+    breaker, clock = make(threshold=1, recovery=30.0)
+    breaker.record_failure()
+    clock.now = 31.0
+    assert breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == CircuitBreaker.OPEN
+    assert not breaker.allow()
+    assert breaker.times_opened == 2
+
+
+def test_reset_restores_closed():
+    breaker, __ = make(threshold=1)
+    breaker.record_failure()
+    breaker.reset()
+    assert breaker.state == CircuitBreaker.CLOSED
+    assert breaker.allow()
+
+
+def test_telemetry_counters():
+    breaker, __ = make(threshold=10)
+    breaker.record_success()
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.total_successes == 1
+    assert breaker.total_failures == 2

@@ -1,0 +1,134 @@
+"""Budget / Deadline / ambient-scope behaviour."""
+
+import pytest
+
+from repro.errors import (
+    BudgetExceededError,
+    OperationCancelledError,
+    ResourceError,
+    SolveTimeoutError,
+)
+from repro.runtime.budget import (
+    Budget,
+    Deadline,
+    budget_scope,
+    current_budget,
+    spend,
+)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestDeadline:
+    def test_not_expired_before_limit(self):
+        clock = FakeClock()
+        deadline = Deadline(10.0, clock=clock)
+        clock.now = 9.9
+        assert not deadline.expired
+        deadline.check()  # no raise
+
+    def test_expired_after_limit(self):
+        clock = FakeClock()
+        deadline = Deadline(10.0, clock=clock)
+        clock.now = 10.1
+        assert deadline.expired
+        with pytest.raises(SolveTimeoutError) as err:
+            deadline.check()
+        assert err.value.elapsed == pytest.approx(10.1)
+        assert err.value.limit == pytest.approx(10.0)
+
+    def test_remaining_clamps_at_zero(self):
+        clock = FakeClock()
+        deadline = Deadline(5.0, clock=clock)
+        clock.now = 7.0
+        assert deadline.remaining == 0.0
+
+
+class TestBudget:
+    def test_tick_raises_typed_error_with_counters(self):
+        budget = Budget(max_steps=10)
+        budget.tick(10)
+        with pytest.raises(BudgetExceededError) as err:
+            budget.tick()
+        assert err.value.steps_used == 11
+        assert err.value.max_steps == 10
+        assert budget.exhausted
+
+    def test_wall_clock_checked_periodically(self):
+        clock = FakeClock()
+        budget = Budget(wall_clock=1.0, clock=clock)
+        clock.now = 2.0
+        # the clock is consulted every 256 ticks, so a timeout surfaces
+        # within one check interval
+        with pytest.raises(SolveTimeoutError):
+            for __ in range(300):
+                budget.tick()
+
+    def test_cancel_is_cooperative(self):
+        budget = Budget(max_steps=1000)
+        budget.tick(5)
+        budget.cancel()
+        with pytest.raises(OperationCancelledError):
+            budget.tick()
+        with pytest.raises(OperationCancelledError):
+            budget.check()
+
+    def test_unlimited_budget_never_raises(self):
+        budget = Budget()
+        budget.tick(10_000)
+        budget.check()
+        assert not budget.exhausted
+        assert budget.remaining_steps is None
+
+    def test_fresh_resets_counters(self):
+        budget = Budget(max_steps=3)
+        with pytest.raises(BudgetExceededError):
+            budget.tick(5)
+        renewed = budget.fresh()
+        assert renewed.steps_used == 0
+        renewed.tick(3)  # no raise
+
+    def test_errors_are_resource_errors(self):
+        assert issubclass(BudgetExceededError, ResourceError)
+        assert issubclass(SolveTimeoutError, ResourceError)
+        assert issubclass(OperationCancelledError, ResourceError)
+
+
+class TestAmbientScope:
+    def test_scope_sets_and_restores(self):
+        assert current_budget() is None
+        budget = Budget(max_steps=100)
+        with budget_scope(budget):
+            assert current_budget() is budget
+        assert current_budget() is None
+
+    def test_nested_scope_masks_outer(self):
+        outer, inner = Budget(max_steps=1), Budget(max_steps=100)
+        with budget_scope(outer):
+            with budget_scope(inner):
+                assert current_budget() is inner
+            assert current_budget() is outer
+
+    def test_none_scope_masks_outer(self):
+        outer = Budget(max_steps=1)
+        with budget_scope(outer):
+            with budget_scope(None):
+                assert current_budget() is None
+                spend(50)  # unbounded inside the masked scope
+        assert outer.steps_used == 0
+
+    def test_spend_uses_ambient(self):
+        budget = Budget(max_steps=3)
+        with budget_scope(budget):
+            spend(2)
+            with pytest.raises(BudgetExceededError):
+                spend(2)
+
+    def test_spend_without_budget_is_noop(self):
+        spend(1_000_000)  # no ambient, no explicit: nothing to exhaust
