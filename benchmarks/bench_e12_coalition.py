@@ -20,11 +20,12 @@ import pytest
 
 from repro.agenp import AutonomousManagedSystem, FieldInterpreter, PolicySpecification
 from repro.agenp.coalition import Coalition, CoalitionNetwork, CoalitionParty, FaultPlan
+from repro.agenp.monitoring import MonitoringLog
 from repro.asp.atoms import Atom, Literal
 from repro.asp.terms import Constant
 from repro.core import Context
 from repro.learning import constraint_space
-from repro.policy import CategoricalDomain, DomainSchema
+from repro.policy import CategoricalDomain, DomainSchema, Request
 
 GRAMMAR = """
 policy -> "allow" subject action
@@ -105,15 +106,31 @@ def run_chaos(drop, seed, reliable, max_rounds=60, parties=3):
     rounds = coalition.run_until_converged(max_rounds=max_rounds)
     delivery = network.delivered / network.sent if network.sent else 1.0
     resent = sum(m.retransmissions for m in members)
-    return rounds, delivery, resent, network
+    # serve one decision per live party so the monitoring dimension of the
+    # sweep is populated (decision mix, degraded/enforcement rates)
+    request = Request({"subject": {"id": "alice"}, "action": {"id": "read"}})
+    for member in members:
+        if member.live:
+            member.ams.decide(request)
+    return rounds, delivery, resent, network, members
+
+
+def sweep_log_stats(members):
+    """Aggregate MonitoringLog stats across every party in a sweep."""
+    merged = MonitoringLog()
+    for member in members:
+        for record in member.ams.log.records():
+            merged.append(record)
+    return merged.stats()
 
 
 def test_chaos_convergence(report, benchmark):
     def run():
         rows = []
+        stats_rows = []
         for drop in (0.0, 0.3, 0.6):
             for reliable in (True, False):
-                rounds, delivery, resent, __ = run_chaos(
+                rounds, delivery, resent, __, members = run_chaos(
                     drop, seed=7, reliable=reliable
                 )
                 rows.append(
@@ -125,9 +142,12 @@ def test_chaos_convergence(report, benchmark):
                         resent,
                     )
                 )
-        return rows
+                stats_rows.append(
+                    (drop, "on" if reliable else "off", sweep_log_stats(members))
+                )
+        return rows, stats_rows
 
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows, stats_rows = benchmark.pedantic(run, rounds=1, iterations=1)
     report(
         "E12 chaos — rounds to convergence vs fault intensity (drop + dup/2 + reorder/2)",
         f"{'drop':>5} {'retries':>8} {'rounds':>7} {'delivery':>9} {'resent':>7}",
@@ -135,7 +155,16 @@ def test_chaos_convergence(report, benchmark):
             f"{drop:>5.1f} {retries:>8} {str(rounds):>7} {delivery:>9.2f} {resent:>7}"
             for drop, retries, rounds, delivery, resent in rows
         ),
+        "  post-convergence decision sweep (MonitoringLog.stats per cell):",
+        *(
+            f"    drop={drop:.1f} retries={retries}: " + "; ".join(stats.lines())
+            for drop, retries, stats in stats_rows
+        ),
     )
+    # every cell served one decision per live party, none degraded
+    for __, __r, stats in stats_rows:
+        assert stats.total >= 1
+        assert stats.degraded == 0
     by_key = {(drop, retries): rounds for drop, retries, rounds, __, __r in rows}
     # fault-free: both modes converge immediately
     assert by_key[(0.0, "on")] == 1

@@ -89,9 +89,14 @@ def test_full_adaptation_cycle(report, benchmark):
     assert adapted
     after = ams.decide(Request({"subject": {"id": "bob"}, "action": {"id": "write"}}))
     assert after.decision is Decision.DENY
+    stats = ams.log.stats()
     report(
         "E2 — full monitor->feedback->adapt->regenerate cycle",
         f"    model version after adaptation: {ams.model().version}",
         f"    active policies: {len(ams.policy_repository)}",
         f"    bob/write now: {after.decision.value}",
+        "    monitoring log:",
+        *(f"      {line}" for line in stats.lines()),
     )
+    assert stats.total == len(ams.log)
+    assert stats.degraded == 0  # ungoverned run: no fallback decisions

@@ -5,9 +5,16 @@ Each benchmark module regenerates one of the paper's tables/figures
 the reproduced rows/series are printed straight to the terminal via the
 ``report`` fixture so they appear in ``bench_output.txt`` even under
 pytest's output capturing.
+
+Every benchmark module also runs under an ambient telemetry tracer
+(``module_telemetry`` below): spans from the instrumented engine layers
+are written to ``benchmarks/artifacts/BENCH_<module>.jsonl`` plus a
+``summarize()`` report in ``BENCH_<module>.json`` — see ``common.py``.
 """
 
 import pytest
+
+from common import telemetry_session
 
 
 @pytest.fixture
@@ -21,3 +28,14 @@ def report(capsys):
                 print(line)
 
     return _print
+
+
+@pytest.fixture(scope="module", autouse=True)
+def module_telemetry(request):
+    """Trace each benchmark module into its own BENCH_* artifact pair."""
+    name = request.module.__name__
+    if name.startswith("bench_"):
+        name = name[len("bench_"):]
+    with telemetry_session(name) as tracer:
+        yield tracer
+

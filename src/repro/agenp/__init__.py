@@ -12,7 +12,7 @@ from repro.agenp.ams import AutonomousManagedSystem
 from repro.agenp.caswiki import CASWiki, Contribution
 from repro.agenp.coalition import Coalition, CoalitionNetwork, CoalitionParty, FaultPlan, Message
 from repro.agenp.interpreters import FieldInterpreter, PolicyInterpreter
-from repro.agenp.monitoring import DecisionRecord, MonitoringLog
+from repro.agenp.monitoring import DecisionRecord, LogStats, MonitoringLog
 from repro.agenp.padap import PolicyAdaptationPoint
 from repro.agenp.pbms import PolicyBasedManagementSystem, PolicySpecification
 from repro.agenp.pcp import CheckOutcome, PolicyCheckingPoint
@@ -45,6 +45,7 @@ __all__ = [
     "ContextRepository",
     "StoredPolicy",
     "MonitoringLog",
+    "LogStats",
     "DecisionRecord",
     "CASWiki",
     "Contribution",

@@ -38,6 +38,7 @@ from typing import Dict, List, Mapping, NamedTuple, Optional, Sequence, Set, Tup
 from repro.agenp.ams import AutonomousManagedSystem
 from repro.agenp.repositories import StoredPolicy
 from repro.errors import AgenpError
+from repro.telemetry import span as _tele_span
 
 __all__ = [
     "Message",
@@ -326,6 +327,7 @@ class CoalitionParty:
         self._seen: Dict[str, Set[int]] = {}  # sender -> processed seqs (durable)
         self._seen_message_ids: Set[int] = set()  # exact network-duplicate dedup
         self.retransmissions = 0
+        self.dedup_hits = 0  # duplicates suppressed (message-id or seq level)
 
     @property
     def name(self) -> str:
@@ -409,6 +411,7 @@ class CoalitionParty:
         adopted = rejected = 0
         for message in self.network.drain(self.name):
             if message.message_id in self._seen_message_ids:
+                self.dedup_hits += 1
                 continue  # exact duplicate injected by the fabric
             self._seen_message_ids.add(message.message_id)
             if message.kind == "share":
@@ -432,6 +435,7 @@ class CoalitionParty:
             self.network.send(self.name, message.sender, "ack", {"seq": seq})
             seen = self._seen.setdefault(message.sender, set())
             if seq in seen:
+                self.dedup_hits += 1
                 return None
             seen.add(seq)
         if self.trust_in(message.sender) < min_trust:
@@ -502,22 +506,40 @@ class Coalition:
         and applying crash windows); parties that are down skip the
         round and report ``(0, 0)``.
         """
-        if self.network is not None:
-            self.network.advance()
-        live = [p for p in self.parties if p.live]
-        for party in live:
-            party.share_policies()
-        for party in live:
-            party.tick_retransmits()
-        results: Dict[str, Tuple[int, int]] = {
-            p.name: (0, 0) for p in self.parties
-        }
-        for party in live:
-            results[party.name] = party.process_mailbox(min_trust=min_trust)
-        # second pass so ack/rating replies are absorbed in the same round
-        for party in live:
-            party.process_mailbox(min_trust=min_trust)
-        return results
+        with _tele_span("coalition.round") as sp:
+            if self.network is not None:
+                self.network.advance()
+            live = [p for p in self.parties if p.live]
+            dedup_before = sum(p.dedup_hits for p in self.parties)
+            for party in live:
+                party.share_policies()
+            resent = 0
+            for party in live:
+                resent += party.tick_retransmits()
+            results: Dict[str, Tuple[int, int]] = {
+                p.name: (0, 0) for p in self.parties
+            }
+            for party in live:
+                results[party.name] = party.process_mailbox(min_trust=min_trust)
+            # second pass so ack/rating replies are absorbed in the same round
+            for party in live:
+                party.process_mailbox(min_trust=min_trust)
+            sp.incr("coalition.retransmits", resent)
+            sp.incr(
+                "coalition.dedup_hits",
+                sum(p.dedup_hits for p in self.parties) - dedup_before,
+            )
+            sp.incr("coalition.adopted", sum(a for a, __ in results.values()))
+            sp.incr("coalition.rejected", sum(r for __, r in results.values()))
+            sp.incr("coalition.rounds")
+            if self.network is not None:
+                sp.set(
+                    tick=self.network.tick,
+                    live_parties=len(live),
+                    delivered=self.network.delivered,
+                    dropped=self.network.dropped,
+                )
+            return results
 
     def run(self, rounds: int, min_trust: float = 0.25) -> List[Dict[str, Tuple[int, int]]]:
         return [self.round(min_trust=min_trust) for __ in range(rounds)]
@@ -538,8 +560,13 @@ class Coalition:
         self, max_rounds: int = 50, min_trust: float = 0.25
     ) -> Optional[int]:
         """Run rounds until :meth:`converged`; rounds taken, or None."""
-        for round_number in range(1, max_rounds + 1):
-            self.round(min_trust=min_trust)
-            if self.converged():
-                return round_number
-        return None
+        with _tele_span("coalition.converge", max_rounds=max_rounds) as sp:
+            for round_number in range(1, max_rounds + 1):
+                self.round(min_trust=min_trust)
+                if self.converged():
+                    sp.set(rounds=round_number, converged=True)
+                    sp.incr("coalition.convergence_rounds", round_number)
+                    return round_number
+            sp.set(rounds=max_rounds, converged=False)
+            sp.incr("coalition.convergence_failures")
+            return None

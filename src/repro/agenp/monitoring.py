@@ -16,12 +16,12 @@ sequences (cross-run determinism; no module-level global counter).
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence
 
 from repro.core.contexts import Context
 from repro.policy.model import Decision, Request
 
-__all__ = ["DecisionRecord", "MonitoringLog"]
+__all__ = ["DecisionRecord", "LogStats", "MonitoringLog"]
 
 
 class DecisionRecord:
@@ -29,7 +29,10 @@ class DecisionRecord:
 
     ``degraded`` marks decisions that were *not* produced by the normal
     solver-backed path: the PDP fell back to its default decision or the
-    last-known-good policy set (``note`` says why).
+    last-known-good policy set (``note`` says why).  ``trace_id`` links
+    the record to the telemetry trace of the solve that produced it
+    (when the PDP ran under an ambient tracer; None otherwise) —
+    Figure 2's monitoring arrows joined to low-level engine behaviour.
     """
 
     __slots__ = (
@@ -42,6 +45,7 @@ class DecisionRecord:
         "outcome_ok",
         "degraded",
         "note",
+        "trace_id",
     )
 
     def __init__(
@@ -53,6 +57,7 @@ class DecisionRecord:
         enforced: bool = False,
         degraded: bool = False,
         note: str = "",
+        trace_id: Optional[int] = None,
     ):
         self.record_id: Optional[int] = None  # assigned by MonitoringLog.append
         self.request = request
@@ -63,6 +68,7 @@ class DecisionRecord:
         self.outcome_ok: Optional[bool] = None
         self.degraded = degraded
         self.note = note
+        self.trace_id = trace_id
 
     def __repr__(self) -> str:
         outcome = (
@@ -74,6 +80,37 @@ class DecisionRecord:
             f"DecisionRecord(#{ident} {self.decision.value} "
             f"via {self.policy_text!r} [{outcome}]{flag})"
         )
+
+
+class LogStats(NamedTuple):
+    """Aggregate view of a :class:`MonitoringLog` (Figure 2 dashboard).
+
+    ``by_decision`` counts records per decision effect;
+    ``degraded_rate`` is the fraction of decisions served from a
+    fallback path and ``enforcement_rate`` the fraction that reached
+    the PEP — the two numbers the adaptation loop watches.
+    """
+
+    total: int
+    by_decision: Dict[str, int]
+    degraded: int
+    degraded_rate: float
+    enforced: int
+    enforcement_rate: float
+    violations: int
+    confirmations: int
+    unreviewed: int
+
+    def lines(self) -> List[str]:
+        """Human-readable report lines (benchmark/CLI output)."""
+        effects = " ".join(f"{k}={v}" for k, v in sorted(self.by_decision.items()))
+        return [
+            f"decisions: {self.total} ({effects or 'none'})",
+            f"degraded: {self.degraded} ({self.degraded_rate:.1%})  "
+            f"enforced: {self.enforced} ({self.enforcement_rate:.1%})",
+            f"outcomes: {self.confirmations} ok, {self.violations} flagged, "
+            f"{self.unreviewed} unreviewed",
+        ]
 
 
 class MonitoringLog:
@@ -112,6 +149,36 @@ class MonitoringLog:
     def degradations(self) -> List[DecisionRecord]:
         """Decisions served from a fallback path (budget/breaker events)."""
         return [r for r in self._records if r.degraded]
+
+    def stats(self) -> LogStats:
+        """Fold the history into a :class:`LogStats` aggregate."""
+        total = len(self._records)
+        by_decision: Dict[str, int] = {}
+        degraded = enforced = violations = confirmations = unreviewed = 0
+        for record in self._records:
+            effect = record.decision.value
+            by_decision[effect] = by_decision.get(effect, 0) + 1
+            if record.degraded:
+                degraded += 1
+            if record.enforced:
+                enforced += 1
+            if record.outcome_ok is None:
+                unreviewed += 1
+            elif record.outcome_ok:
+                confirmations += 1
+            else:
+                violations += 1
+        return LogStats(
+            total=total,
+            by_decision=by_decision,
+            degraded=degraded,
+            degraded_rate=degraded / total if total else 0.0,
+            enforced=enforced,
+            enforcement_rate=enforced / total if total else 0.0,
+            violations=violations,
+            confirmations=confirmations,
+            unreviewed=unreviewed,
+        )
 
     def clear(self) -> None:
         self._records.clear()

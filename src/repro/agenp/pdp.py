@@ -41,6 +41,7 @@ from repro.policy.model import Decision, Request
 from repro.policy.xacml import Policy
 from repro.runtime.breaker import CircuitBreaker
 from repro.runtime.budget import Budget, budget_scope
+from repro.telemetry import span as _tele_span
 
 __all__ = ["PolicyDecisionPoint"]
 
@@ -115,26 +116,41 @@ class PolicyDecisionPoint:
         module docstring.
         """
         context = context if context is not None else Context.empty()
-        if not self.breaker.allow():
-            return self._degrade(request, context, "circuit open")
-        try:
-            with self._scope():
-                hits = self._hits(self._compile(), request)
-        except ResourceError as error:
-            self.breaker.record_failure()
-            return self._degrade(request, context, f"resource exhausted: {error}")
-        except ReproError:
-            # a bug or uninterpretable policy: propagate, but count it —
-            # repeated failures open the breaker and decisions degrade
-            self.breaker.record_failure()
-            raise
-        self.breaker.record_success()
-        self._last_good = list(self._compiled)
-        decision, policy_text = self._resolve(hits)
-        record = DecisionRecord(request, decision, policy_text, context)
-        return self.log.append(record)
+        with _tele_span("pdp.decide") as sp:
+            sp.incr("pdp.decisions")
+            if not self.breaker.allow():
+                sp.incr("pdp.breaker_rejections")
+                return self._degrade(request, context, "circuit open", sp)
+            try:
+                with self._scope():
+                    hits = self._hits(self._compile(), request)
+            except ResourceError as error:
+                self.breaker.record_failure()
+                sp.incr("pdp.resource_errors")
+                return self._degrade(
+                    request, context, f"resource exhausted: {error}", sp
+                )
+            except ReproError:
+                # a bug or uninterpretable policy: propagate, but count it —
+                # repeated failures open the breaker and decisions degrade
+                self.breaker.record_failure()
+                raise
+            self.breaker.record_success()
+            self._last_good = list(self._compiled)
+            decision, policy_text = self._resolve(hits)
+            sp.set(decision=decision.value, degraded=False)
+            record = DecisionRecord(
+                request, decision, policy_text, context, trace_id=sp.trace_id
+            )
+            return self.log.append(record)
 
-    def _degrade(self, request: Request, context: Context, reason: str) -> DecisionRecord:
+    def _degrade(
+        self,
+        request: Request,
+        context: Context,
+        reason: str,
+        sp=None,
+    ) -> DecisionRecord:
         """Serve a fallback decision and record the degradation event."""
         decision = self.default_decision
         policy_text = ""
@@ -147,8 +163,18 @@ class PolicyDecisionPoint:
                 note = f"degraded ({reason}): last-known-good policies"
             except ReproError:
                 decision, policy_text = self.default_decision, ""
+        trace_id = sp.trace_id if sp is not None else None
+        if sp is not None:
+            sp.incr("pdp.degraded_decisions")
+            sp.set(decision=decision.value, degraded=True)
         record = DecisionRecord(
-            request, decision, policy_text, context, degraded=True, note=note
+            request,
+            decision,
+            policy_text,
+            context,
+            degraded=True,
+            note=note,
+            trace_id=trace_id,
         )
         return self.log.append(record)
 

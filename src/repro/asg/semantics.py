@@ -22,6 +22,7 @@ from repro.grammar.cfg import SymbolString
 from repro.grammar.earley import parse_trees
 from repro.grammar.parse_tree import ParseTree, Trace
 from repro.runtime.budget import Budget
+from repro.telemetry import span as _tele_span
 
 __all__ = [
     "reroot_rule",
@@ -113,10 +114,23 @@ def accepting_witness(
 
     The witness is the raw material for *explaining* why a policy string
     is valid (paper Section V.B): the tree shows the syntactic derivation
-    and the answer set shows which semantic conditions held.
+    and the answer set shows which semantic conditions held.  Under an
+    ambient tracer an ``asg.membership`` span records how many candidate
+    trees were solver-checked and whether one accepted.
     """
-    for tree in parse_trees(asg.cfg, tuple(tokens), max_trees=max_trees, budget=budget):
-        models = tree_answer_sets(asg, tree, max_models=1, budget=budget)
-        if models:
-            return tree, models[0]
-    return None
+    with _tele_span("asg.membership", tokens=len(tokens)) as sp:
+        trees_tried = 0
+        for tree in parse_trees(
+            asg.cfg, tuple(tokens), max_trees=max_trees, budget=budget
+        ):
+            trees_tried += 1
+            models = tree_answer_sets(asg, tree, max_models=1, budget=budget)
+            if models:
+                sp.incr("asg.trees_tried", trees_tried)
+                sp.incr("asg.accepted")
+                sp.set(accepted=True)
+                return tree, models[0]
+        sp.incr("asg.trees_tried", trees_tried)
+        sp.incr("asg.rejected")
+        sp.set(accepted=False)
+        return None

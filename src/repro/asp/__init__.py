@@ -19,7 +19,16 @@ from repro.asp.atoms import Atom, Comparison, Literal
 from repro.asp.grounder import GroundProgram, ground_program
 from repro.asp.parser import parse_atom, parse_program, parse_rule, parse_term
 from repro.asp.rules import ChoiceRule, NormalRule, Program, WeakConstraint, fact
-from repro.asp.solver import AnswerSet, AnswerSetSolver, CostVector, cost_of, solve, solve_optimal
+from repro.asp.solver import (
+    AnswerSet,
+    AnswerSetSolver,
+    CostVector,
+    SolveResult,
+    SolveStats,
+    cost_of,
+    solve,
+    solve_optimal,
+)
 from repro.asp.terms import ArithTerm, Constant, Function, Integer, Term, Variable
 
 __all__ = [
@@ -45,6 +54,8 @@ __all__ = [
     "GroundProgram",
     "AnswerSetSolver",
     "AnswerSet",
+    "SolveResult",
+    "SolveStats",
     "solve",
     "solve_optimal",
     "cost_of",

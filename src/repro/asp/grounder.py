@@ -43,14 +43,44 @@ from repro.asp.terms import (
 )
 from repro.errors import GroundingError, UnsafeRuleError
 from repro.runtime.budget import Budget, current_budget
+from repro.telemetry import span as _tele_span
 
-__all__ = ["ground_program", "GroundProgram", "match_atom"]
+__all__ = ["ground_program", "GroundProgram", "GroundStats", "match_atom"]
+
+
+class GroundStats:
+    """Per-run grounding statistics (semi-naive bottom-up telemetry).
+
+    * ``fixpoint_iterations`` — passes of the possible-atom fixpoint;
+    * ``substitutions`` — substitutions enumerated across both phases;
+    * ``atoms`` — size of the final possible-atom set;
+    * ``rules_grounded`` — ground rules emitted (normal + choice + weak).
+    """
+
+    __slots__ = ("fixpoint_iterations", "substitutions", "atoms", "rules_grounded")
+
+    def __init__(self) -> None:
+        self.fixpoint_iterations = 0
+        self.substitutions = 0
+        self.atoms = 0
+        self.rules_grounded = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        inner = " ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"GroundStats({inner})"
 
 
 class GroundProgram:
-    """The result of grounding: ground rules plus the possible-atom set."""
+    """The result of grounding: ground rules plus the possible-atom set.
 
-    __slots__ = ("normal_rules", "choice_rules", "weak_constraints", "atoms")
+    ``stats`` carries the :class:`GroundStats` of the run that produced
+    this program (a fresh zeroed instance when constructed directly).
+    """
+
+    __slots__ = ("normal_rules", "choice_rules", "weak_constraints", "atoms", "stats")
 
     def __init__(
         self,
@@ -58,11 +88,13 @@ class GroundProgram:
         choice_rules: List[ChoiceRule],
         atoms: Set[Atom],
         weak_constraints: Optional[List[WeakConstraint]] = None,
+        stats: Optional[GroundStats] = None,
     ):
         self.normal_rules = normal_rules
         self.choice_rules = choice_rules
         self.weak_constraints = weak_constraints if weak_constraints is not None else []
         self.atoms = atoms
+        self.stats = stats if stats is not None else GroundStats()
 
     def __repr__(self) -> str:
         lines = (
@@ -306,9 +338,26 @@ def ground_program(
     (explicit or ambient) is ticked once per enumerated substitution in
     both phases, so step budgets and deadlines interrupt grounding
     before the possible-atom set explodes.
+
+    The returned program carries :class:`GroundStats` (``.stats``);
+    the same numbers land on the ambient ``asp.ground`` telemetry span
+    when a tracer is installed.
     """
+    with _tele_span("asp.ground", source_rules=len(program)) as sp:
+        ground = _ground(program, max_atoms, budget)
+        for name, value in ground.stats.as_dict().items():
+            sp.incr(f"grounder.{name}", value)
+        return ground
+
+
+def _ground(
+    program: Program,
+    max_atoms: int,
+    budget: Optional[Budget],
+) -> GroundProgram:
     if budget is None:
         budget = current_budget()
+    stats = GroundStats()
     plans: List[Tuple[Rule, List[BodyElement]]] = []
     for rule in program:
         plans.append((rule, order_body(rule)))
@@ -320,8 +369,10 @@ def ground_program(
     changed = True
     while changed:
         changed = False
+        stats.fixpoint_iterations += 1
         for rule, plan in plans:
             for theta in _enumerate(plan, index, {}, positives_only=True):
+                stats.substitutions += 1
                 if budget is not None:
                     budget.tick()
                 heads: List[Atom] = []
@@ -350,6 +401,7 @@ def ground_program(
     seen_weak: Set[WeakConstraint] = set()
     for rule, plan in plans:
         for theta in _enumerate(plan, index, {}, positives_only=False):
+            stats.substitutions += 1
             if budget is not None:
                 budget.tick()
             body: List[BodyElement] = []
@@ -401,4 +453,8 @@ def ground_program(
                     if ground_choice not in seen_choice:
                         seen_choice.add(ground_choice)
                         choice_rules.append(ground_choice)
-    return GroundProgram(normal_rules, choice_rules, set(index.atoms), weak_constraints)
+    stats.atoms = len(index.atoms)
+    stats.rules_grounded = len(normal_rules) + len(choice_rules) + len(weak_constraints)
+    return GroundProgram(
+        normal_rules, choice_rules, set(index.atoms), weak_constraints, stats=stats
+    )

@@ -36,8 +36,9 @@ from repro.asp.grounder import GroundProgram, ground_program
 from repro.asp.rules import ChoiceRule, NormalRule, Program
 from repro.errors import BudgetExceededError
 from repro.runtime.budget import Budget, current_budget
+from repro.telemetry import span as _tele_span
 
-__all__ = ["AnswerSetSolver", "solve", "AnswerSet"]
+__all__ = ["AnswerSetSolver", "solve", "AnswerSet", "SolveResult", "SolveStats"]
 
 AnswerSet = FrozenSet[Atom]
 
@@ -46,6 +47,56 @@ _AUX_PREFIX = "__naux"
 _TRUE = 1
 _FALSE = -1
 _UNKNOWN = 0
+
+
+class SolveStats:
+    """Search statistics for one solver run (the ILASP-style per-run
+    numbers the paper's tooling reports as first-class output).
+
+    * ``decisions`` — branch assignments tried by the search;
+    * ``propagations`` — literal assignments forced by propagation;
+    * ``conflicts`` — propagation dead-ends (backtrack triggers);
+    * ``stability_checks`` — Gelfond–Lifschitz reduct verifications;
+    * ``models`` — answer sets found;
+    * ``steps`` — propagation passes (the unit the PR-1 Budget ticks).
+    """
+
+    __slots__ = (
+        "decisions",
+        "propagations",
+        "conflicts",
+        "stability_checks",
+        "models",
+        "steps",
+    )
+
+    def __init__(self) -> None:
+        self.decisions = 0
+        self.propagations = 0
+        self.conflicts = 0
+        self.stability_checks = 0
+        self.models = 0
+        self.steps = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        inner = " ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"SolveStats({inner})"
+
+
+class SolveResult(List[AnswerSet]):
+    """The answer sets of a solve plus its search statistics.
+
+    A list subclass: every existing call site that iterates, indexes, or
+    truth-tests the models keeps working, while ``result.stats`` exposes
+    the :class:`SolveStats` instead of discarding them.
+    """
+
+    def __init__(self, models: Iterable[AnswerSet], stats: Optional[SolveStats] = None):
+        super().__init__(models)
+        self.stats = stats if stats is not None else SolveStats()
 
 
 class _Rule:
@@ -81,6 +132,7 @@ class AnswerSetSolver:
         self._max_steps = max_steps
         self._steps = 0
         self._budget = budget if budget is not None else current_budget()
+        self.stats = SolveStats()
 
         self._atoms: List[Atom] = []
         self._ids: Dict[Atom, int] = {}
@@ -146,22 +198,36 @@ class AnswerSetSolver:
         """Propagation passes consumed so far (for post-mortem telemetry)."""
         return self._steps
 
-    def solve(self, max_models: Optional[int] = None) -> List[AnswerSet]:
+    def solve(self, max_models: Optional[int] = None) -> "SolveResult":
         """Return up to ``max_models`` answer sets (all if ``None``).
 
-        Atoms of internal auxiliary predicates are projected out.
+        Atoms of internal auxiliary predicates are projected out.  The
+        result is a :class:`SolveResult`: a plain list of answer sets
+        carrying the run's :class:`SolveStats`, which are also recorded
+        on the ambient telemetry span (``asp.solve``) when one exists.
         """
-        models: List[AnswerSet] = []
-        n = len(self._atoms)
-        assignment = [_UNKNOWN] * n
-        trail: List[int] = []
+        with _tele_span(
+            "asp.solve", atoms=len(self._atoms), rules=len(self._rules)
+        ) as sp:
+            models: List[AnswerSet] = []
+            n = len(self._atoms)
+            assignment = [_UNKNOWN] * n
+            trail: List[int] = []
+            before = self.stats.as_dict()
 
-        # rule state: number of unassigned body literals, satisfied, falsified
-        for model in self._search(assignment, trail):
-            models.append(model)
-            if max_models is not None and len(models) >= max_models:
-                break
-        return models
+            try:
+                for model in self._search(assignment, trail):
+                    models.append(model)
+                    if max_models is not None and len(models) >= max_models:
+                        break
+            finally:
+                stats = self.stats
+                stats.models += len(models)
+                stats.steps = self._steps
+                # deltas, so re-solving on one instance never double-counts
+                for name, start in before.items():
+                    sp.incr(f"solver.{name}", getattr(stats, name) - start)
+            return SolveResult(models, stats)
 
     def is_satisfiable(self) -> bool:
         return bool(self.solve(max_models=1))
@@ -178,6 +244,7 @@ class AnswerSetSolver:
             return
         for value in (_FALSE, _TRUE):
             mark = len(trail)
+            self.stats.decisions += 1
             self._assign(unassigned, value, assignment, trail)
             yield from self._search(assignment, trail)
             self._undo(mark, assignment, trail)
@@ -245,11 +312,14 @@ class AnswerSetSolver:
                 if n_unknown == 0:
                     # body fully true
                     if rule.head is None:
+                        self.stats.conflicts += 1
                         return False  # constraint violated
                     if head_value == _FALSE:
+                        self.stats.conflicts += 1
                         return False
                     if head_value == _UNKNOWN:
                         self._assign(rule.head, _TRUE, assignment, trail)
+                        self.stats.propagations += 1
                         changed = True
                 elif n_unknown == 1 and last_unknown is not None:
                     must_falsify = rule.head is None or head_value == _FALSE
@@ -257,6 +327,7 @@ class AnswerSetSolver:
                         atom_id, positive = last_unknown
                         value = _FALSE if positive else _TRUE
                         self._assign(atom_id, value, assignment, trail)
+                        self.stats.propagations += 1
                         changed = True
             # support-based propagation
             for atom_id in range(len(self._atoms)):
@@ -275,8 +346,10 @@ class AnswerSetSolver:
                         alive.append(rule)
                 if not alive:
                     if value == _TRUE:
+                        self.stats.conflicts += 1
                         return False
                     self._assign(atom_id, _FALSE, assignment, trail)
+                    self.stats.propagations += 1
                     changed = True
                 elif value == _TRUE and len(alive) == 1:
                     # supportedness: the single alive rule's body must be true
@@ -289,6 +362,7 @@ class AnswerSetSolver:
                                 assignment,
                                 trail,
                             )
+                            self.stats.propagations += 1
                             changed = True
         return True
 
@@ -318,6 +392,7 @@ class AnswerSetSolver:
 
     def _stable(self, assignment: List[int]) -> bool:
         """Gelfond–Lifschitz check: least model of the reduct == candidate."""
+        self.stats.stability_checks += 1
         candidate = {i for i, v in enumerate(assignment) if v == _TRUE}
         # Build the reduct: keep rules whose negative body is satisfied.
         reduct: List[Tuple[Optional[int], Tuple[int, ...]]] = []
@@ -356,11 +431,13 @@ def solve(
     max_models: Optional[int] = None,
     max_steps: int = 50_000_000,
     budget: Optional[Budget] = None,
-) -> List[AnswerSet]:
+) -> SolveResult:
     """Ground and solve ``program``; return its answer sets.
 
     ``budget`` (explicit or ambient) governs both phases: grounding and
-    solving tick the same budget.
+    solving tick the same budget.  The returned :class:`SolveResult`
+    behaves as a plain list of answer sets and additionally carries the
+    run's :class:`SolveStats`.
     """
     ground = ground_program(program, budget=budget)
     return AnswerSetSolver(ground, max_steps=max_steps, budget=budget).solve(
@@ -413,8 +490,8 @@ def solve_optimal(
     solver = AnswerSetSolver(ground, max_steps=max_steps, budget=budget)
     models = solver.solve(max_models=max_candidates)
     if not models:
-        return [], ()
+        return SolveResult([], solver.stats), ()
     scored = [(cost_of(ground, model), model) for model in models]
     best = min(cost for cost, __ in scored)
     optimal = [model for cost, model in scored if cost == best]
-    return optimal, best
+    return SolveResult(optimal, solver.stats), best

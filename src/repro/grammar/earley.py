@@ -26,6 +26,7 @@ from repro.errors import AmbiguityLimitError, GrammarError
 from repro.grammar.cfg import CFG, Production, Symbol, SymbolString
 from repro.grammar.parse_tree import ParseTree
 from repro.runtime.budget import Budget, current_budget
+from repro.telemetry import span as _tele_span
 
 __all__ = ["recognize", "parse_trees"]
 
@@ -36,8 +37,21 @@ def recognize(
     """True iff ``tokens`` is in the language of ``grammar``'s CFG.
 
     ``budget`` (explicit or ambient) is ticked once per processed chart
-    state, bounding the O(n³) worst case.
+    state, bounding the O(n³) worst case.  Under an ambient tracer an
+    ``earley.recognize`` span records the chart size.
     """
+    with _tele_span("earley.recognize", tokens=len(tokens)) as sp:
+        accepted = _recognize(grammar, tokens, budget, sp)
+        sp.set(accepted=accepted)
+        return accepted
+
+
+def _recognize(
+    grammar: CFG,
+    tokens: SymbolString,
+    budget: Optional[Budget],
+    sp,
+) -> bool:
     if budget is None:
         budget = current_budget()
     for token in tokens:
@@ -83,6 +97,7 @@ def recognize(
                     o_prod = grammar.production(o_prod_id)
                     if o_dot < len(o_prod.rhs) and o_prod.rhs[o_dot] == completed_lhs:
                         add(i, (o_prod_id, o_dot + 1, o_origin), agenda)
+    sp.incr("earley.chart_states", sum(len(states) for states in chart))
     for prod in grammar.productions_for(grammar.start):
         if (prod.prod_id, len(prod.rhs), 0) in chart[n]:
             return True
@@ -182,17 +197,22 @@ def parse_trees(
     """
     if budget is None:
         budget = current_budget()
-    for token in tokens:
-        if token not in grammar.terminals:
+    with _tele_span("earley.parse_trees", tokens=len(tokens)) as sp:
+        for token in tokens:
+            if token not in grammar.terminals:
+                return []
+        if not recognize(grammar, tokens, budget=budget):
             return []
-    if not recognize(grammar, tokens, budget=budget):
-        return []
-    extractor = _TreeExtractor(grammar, tokens, max_trees, budget=budget)
-    trees = extractor.trees(grammar.start, 0, len(tokens))
-    if extractor.truncated:
-        if strict:
-            raise AmbiguityLimitError(
-                f"more than {max_trees} parse trees for {' '.join(tokens)!r}"
-            )
-        trees = trees[:max_trees]
-    return trees
+        extractor = _TreeExtractor(grammar, tokens, max_trees, budget=budget)
+        trees = extractor.trees(grammar.start, 0, len(tokens))
+        sp.incr("earley.spans_explored", len(extractor._memo))
+        if extractor.truncated:
+            sp.set(truncated=True)
+            if strict:
+                raise AmbiguityLimitError(
+                    f"more than {max_trees} parse trees for {' '.join(tokens)!r}"
+                )
+            trees = trees[:max_trees]
+        sp.incr("earley.trees", len(trees))
+        sp.set(ambiguity=len(trees))
+        return trees

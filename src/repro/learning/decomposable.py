@@ -31,6 +31,7 @@ from repro.errors import LearningError, ResourceError, UnsatisfiableTaskError
 from repro.learning.ilasp import ILASPLearner, LearnedHypothesis
 from repro.learning.mode_bias import CandidateRule
 from repro.runtime.budget import Budget, budget_scope
+from repro.telemetry import span as _tele_span
 
 __all__ = ["DecomposableLearner", "learn_auto"]
 
@@ -308,6 +309,20 @@ class DecomposableLearner:
         return selected
 
     def learn(self) -> LearnedHypothesis:
+        with _tele_span(
+            "learn.decomposable", space=len(self.task.hypothesis_space)
+        ) as sp:
+            result = self._learn()
+            sp.incr("learner.checks", result.checks)
+            sp.incr("learner.hypotheses_learned")
+            sp.set(
+                cost=result.cost,
+                violations=result.violations,
+                rules=len(result.candidates),
+            )
+            return result
+
+    def _learn(self) -> LearnedHypothesis:
         start = time.monotonic()
         space = list(self.task.hypothesis_space)
         models = self._dedupe(self._build_models(space))
@@ -360,6 +375,7 @@ class DecomposableLearner:
             violations,
             checks=(len(space) + 1) * (len(self.task.positive) + len(self.task.negative)),
             elapsed=time.monotonic() - start,
+            space_size=len(space),
         )
 
     def _verify(self, hypothesis: Sequence[CandidateRule]) -> Optional[int]:

@@ -39,12 +39,23 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 from repro.errors import LearningError, ResourceError, UnsatisfiableTaskError
 from repro.learning.mode_bias import CandidateRule
 from repro.runtime.budget import Budget, budget_scope
+from repro.telemetry import span as _tele_span
 
 __all__ = ["LearnedHypothesis", "ILASPLearner", "learn"]
 
 
 class LearnedHypothesis:
     """The result of a learning run: the hypothesis and search statistics.
+
+    The statistics mirror what the ILASP system prints per run:
+
+    * ``checks`` — coverage-oracle calls actually executed (cache misses);
+    * ``memo_hits`` — oracle calls answered from the memo table;
+    * ``space_size`` — hypothesis-space size after monotonicity
+      prefiltering (the candidates the search really explored);
+    * ``iterations`` — (violation budget, cost budget) refinement rounds
+      of the iterative-deepening outer loop;
+    * ``elapsed`` — wall-clock seconds for the whole search.
 
     ``degraded`` marks a best-so-far hypothesis returned because a
     resource budget ran out before the search completed: it is the
@@ -60,6 +71,9 @@ class LearnedHypothesis:
         checks: int,
         elapsed: float,
         degraded: bool = False,
+        space_size: int = 0,
+        memo_hits: int = 0,
+        iterations: int = 0,
     ):
         self.candidates = candidates
         self.cost = cost
@@ -67,11 +81,26 @@ class LearnedHypothesis:
         self.checks = checks
         self.elapsed = elapsed
         self.degraded = degraded
+        self.space_size = space_size
+        self.memo_hits = memo_hits
+        self.iterations = iterations
 
     @property
     def rules(self):
         """The learned rules as ``(rule, production id)`` pairs."""
         return [(c.rule, c.prod_id) for c in self.candidates]
+
+    def stats(self) -> Dict[str, int]:
+        """The search statistics as a flat dict (for reports/telemetry)."""
+        return {
+            "cost": self.cost,
+            "violations": self.violations,
+            "checks": self.checks,
+            "memo_hits": self.memo_hits,
+            "space_size": self.space_size,
+            "iterations": self.iterations,
+            "degraded": int(self.degraded),
+        }
 
     def __repr__(self) -> str:
         lines = [f"cost={self.cost} violations={self.violations} checks={self.checks}"]
@@ -101,6 +130,9 @@ class ILASPLearner:
         self.degrade_on_exhaustion = degrade_on_exhaustion
         self._memo: Dict[Tuple[FrozenSet[tuple], int, bool], bool] = {}
         self._checks = 0
+        self._memo_hits = 0
+        self._iterations = 0
+        self._space_size = 0
         self._constraints_only = task.constraints_only()
         # best-so-far for degraded returns: (violation weight, cost, hypothesis)
         self._best: Optional[Tuple[int, int, List[CandidateRule]]] = None
@@ -117,6 +149,8 @@ class ILASPLearner:
             self._bump()
             cached = self.task.positive_holds(hypothesis, self.task.positive[index])
             self._memo[key] = cached
+        else:
+            self._memo_hits += 1
         return cached
 
     def _negative_ok(self, hypothesis: Sequence[CandidateRule], index: int) -> bool:
@@ -126,6 +160,8 @@ class ILASPLearner:
             self._bump()
             cached = self.task.negative_holds(hypothesis, self.task.negative[index])
             self._memo[key] = cached
+        else:
+            self._memo_hits += 1
         return cached
 
     def _bump(self) -> None:
@@ -175,27 +211,54 @@ class ILASPLearner:
             if self.budget is not None
             else contextlib.nullcontext()
         )
-        try:
-            with scope:
-                space = self._prefiltered_space()
-                for allowed in range(0, self.max_violations + 1):
-                    found = self._search_with_violations(space, allowed)
-                    if found is not None:
-                        hypothesis, cost = found
-                        return LearnedHypothesis(
-                            hypothesis,
-                            cost,
-                            self._violation_weight(hypothesis),
-                            self._checks,
-                            time.monotonic() - start,
-                        )
-        except ResourceError:
-            if not self.degrade_on_exhaustion:
-                raise
-            return self._degraded_result(start)
-        raise UnsatisfiableTaskError(
-            f"no hypothesis within cost {self.max_cost}, "
-            f"{self.max_rules} rules, {self.max_violations} violations"
+        with _tele_span(
+            "learn.ilasp", space=len(self.task.hypothesis_space)
+        ) as sp:
+            try:
+                with scope:
+                    space = self._prefiltered_space()
+                    self._space_size = len(space)
+                    sp.set(prefiltered_space=len(space))
+                    for allowed in range(0, self.max_violations + 1):
+                        found = self._search_with_violations(space, allowed)
+                        if found is not None:
+                            hypothesis, cost = found
+                            result = LearnedHypothesis(
+                                hypothesis,
+                                cost,
+                                self._violation_weight(hypothesis),
+                                self._checks,
+                                time.monotonic() - start,
+                                space_size=self._space_size,
+                                memo_hits=self._memo_hits,
+                                iterations=self._iterations,
+                            )
+                            self._record_span(sp, result)
+                            return result
+            except ResourceError:
+                if not self.degrade_on_exhaustion:
+                    raise
+                result = self._degraded_result(start)
+                self._record_span(sp, result)
+                return result
+            raise UnsatisfiableTaskError(
+                f"no hypothesis within cost {self.max_cost}, "
+                f"{self.max_rules} rules, {self.max_violations} violations"
+            )
+
+    @staticmethod
+    def _record_span(sp, result: LearnedHypothesis) -> None:
+        sp.incr("learner.checks", result.checks)
+        sp.incr("learner.memo_hits", result.memo_hits)
+        sp.incr("learner.iterations", result.iterations)
+        sp.incr("learner.hypotheses_learned")
+        if result.degraded:
+            sp.incr("learner.degraded_returns")
+        sp.set(
+            cost=result.cost,
+            violations=result.violations,
+            rules=len(result.candidates),
+            degraded=result.degraded,
         )
 
     def _degraded_result(self, start: float) -> LearnedHypothesis:
@@ -216,6 +279,9 @@ class ILASPLearner:
             self._checks,
             time.monotonic() - start,
             degraded=True,
+            space_size=self._space_size,
+            memo_hits=self._memo_hits,
+            iterations=self._iterations,
         )
 
     def _note_best(
@@ -241,6 +307,7 @@ class ILASPLearner:
         self, space: List[CandidateRule], violation_budget: int
     ) -> Optional[Tuple[List[CandidateRule], int]]:
         for cost_budget in range(0, self.max_cost + 1):
+            self._iterations += 1
             result = self._dfs(space, 0, [], 0, cost_budget, violation_budget)
             if result is not None:
                 return result

@@ -15,6 +15,8 @@ from __future__ import annotations
 import time
 from typing import Callable
 
+from repro.telemetry import incr as _tele_incr
+
 __all__ = ["CircuitBreaker"]
 
 
@@ -64,21 +66,26 @@ class CircuitBreaker:
     def record_success(self) -> None:
         self.total_successes += 1
         self._failures = 0
+        if self._state != self.CLOSED:
+            _tele_incr("breaker.closed")
         self._state = self.CLOSED
 
     def record_failure(self) -> None:
         self.total_failures += 1
+        _tele_incr("breaker.failures")
         if self.state == self.HALF_OPEN:
             # failed trial: re-open and restart the recovery clock
             self._state = self.OPEN
             self._opened_at = self._clock()
             self.times_opened += 1
+            _tele_incr("breaker.opened")
             return
         self._failures += 1
         if self._failures >= self.failure_threshold:
             self._state = self.OPEN
             self._opened_at = self._clock()
             self.times_opened += 1
+            _tele_incr("breaker.opened")
 
     def reset(self) -> None:
         self._failures = 0

@@ -1,0 +1,52 @@
+"""Telemetry: structured tracing, metrics, and profiling for AGENP.
+
+The observability counterpart to :mod:`repro.runtime`'s governance: where
+budgets *bound* the engine's hot paths, telemetry *measures* them.  A
+:class:`Tracer` installed with :func:`tracer_scope` records parent-linked
+timed spans from every instrumented layer — grounder, solver, Earley
+parser, ASG membership, ILASP learner, PDP, coalition fabric — plus
+typed counters; exporters persist the spans and
+:func:`~repro.telemetry.exporters.summarize` folds them into the
+per-operation report that benchmarks and the
+``python -m repro.telemetry.report`` CLI print.
+
+With no tracer installed every instrumentation point is no-op cheap
+(one context-variable read), so the tier-1 suite and ungoverned callers
+pay nothing.
+"""
+
+from repro.telemetry.exporters import (
+    InMemoryCollector,
+    JsonlExporter,
+    format_summary,
+    read_jsonl,
+    summarize,
+)
+from repro.telemetry.tracer import (
+    Metrics,
+    NULL_SPAN,
+    Span,
+    Tracer,
+    current_tracer,
+    incr,
+    observe,
+    span,
+    tracer_scope,
+)
+
+__all__ = [
+    "InMemoryCollector",
+    "JsonlExporter",
+    "Metrics",
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "format_summary",
+    "incr",
+    "observe",
+    "read_jsonl",
+    "span",
+    "summarize",
+    "tracer_scope",
+]

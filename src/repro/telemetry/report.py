@@ -1,0 +1,50 @@
+"""Trace-report CLI: ``python -m repro.telemetry.report trace.jsonl ...``
+
+Loads one or more JSONL trace files written by
+:class:`~repro.telemetry.exporters.JsonlExporter` and prints the
+:func:`~repro.telemetry.exporters.summarize` table — per-operation
+p50/p95 latency plus counter totals.  With ``--json`` the raw summary
+dict is printed instead (for CI artifact post-processing).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.telemetry.exporters import format_summary, read_jsonl, summarize
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.report",
+        description="Summarise JSONL trace files (per-operation latency, counters).",
+    )
+    parser.add_argument("paths", nargs="+", help="JSONL trace files to summarise")
+    parser.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON instead of a table"
+    )
+    args = parser.parse_args(argv)
+
+    spans = []
+    for path in args.paths:
+        try:
+            spans.extend(read_jsonl(path))
+        except OSError as error:
+            print(f"error: cannot read {path}: {error}", file=sys.stderr)
+            return 2
+    summary = summarize(spans)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        title = f"telemetry summary — {len(spans)} spans from {len(args.paths)} file(s)"
+        print(format_summary(summary, title=title))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,87 @@
+"""JSONL round-trip, summarisation, and the report CLI."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    JsonlExporter,
+    Tracer,
+    format_summary,
+    incr,
+    read_jsonl,
+    summarize,
+    tracer_scope,
+)
+from repro.telemetry.report import main as report_main
+
+
+def make_trace(path):
+    tracer = Tracer(exporters=[JsonlExporter(str(path))])
+    with tracer_scope(tracer):
+        with tracer.span("asp.solve", atoms=3):
+            incr("solver.models", 2)
+        with tracer.span("asp.solve", atoms=5):
+            incr("solver.models", 1)
+        with tracer.span("pdp.decide"):
+            pass
+    tracer.close()
+    return tracer
+
+
+def test_jsonl_round_trip(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    tracer = make_trace(path)
+    loaded = read_jsonl(str(path))
+    assert loaded == tracer.spans
+    # round-tripped records summarise identically
+    assert summarize(loaded) == summarize(tracer.spans)
+
+
+def test_summarize_latency_and_counters(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    make_trace(path)
+    summary = summarize(read_jsonl(str(path)))
+    assert summary["operations"]["asp.solve"]["count"] == 2
+    assert summary["operations"]["pdp.decide"]["count"] == 1
+    assert summary["counters"]["solver.models"] == 3
+    solve = summary["operations"]["asp.solve"]
+    assert 0.0 <= solve["p50"] <= solve["p95"] <= solve["max"]
+
+
+def test_format_summary_renders_table(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    make_trace(path)
+    text = format_summary(summarize(read_jsonl(str(path))))
+    assert "asp.solve" in text
+    assert "solver.models" in text
+    assert "p95" in text
+
+
+def test_report_cli_table_and_json(tmp_path, capsys):
+    path = tmp_path / "trace.jsonl"
+    make_trace(path)
+    assert report_main([str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "asp.solve" in out
+    assert "solver.models" in out
+
+    assert report_main([str(path), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["counters"]["solver.models"] == 3
+
+
+def test_report_cli_missing_file(tmp_path, capsys):
+    missing = tmp_path / "nope.jsonl"
+    assert report_main([str(missing)]) == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_jsonl_exporter_accepts_open_file(tmp_path):
+    path = tmp_path / "stream.jsonl"
+    with open(path, "w", encoding="utf-8") as handle:
+        exporter = JsonlExporter(handle)
+        exporter.export({"name": "x", "parent_id": None})
+        exporter.close()  # must not close a stream it does not own
+        assert not handle.closed
+    assert read_jsonl(str(path)) == [{"name": "x", "parent_id": None}]

@@ -1,0 +1,139 @@
+"""Tracer core: span nesting, attribution, counters, ambient helpers."""
+
+import pytest
+
+from repro.telemetry import (
+    NULL_SPAN,
+    InMemoryCollector,
+    Metrics,
+    Tracer,
+    current_tracer,
+    incr,
+    observe,
+    span,
+    summarize,
+    tracer_scope,
+)
+
+
+def test_span_records_name_attrs_and_duration():
+    clock = iter([0.0, 2.5]).__next__
+    tracer = Tracer(clock=clock, wall_clock=lambda: 100.0)
+    with tracer.span("op", flavour="vanilla") as sp:
+        sp.set(extra=1)
+    assert len(tracer.spans) == 1
+    record = tracer.spans[0]
+    assert record["name"] == "op"
+    assert record["attrs"] == {"flavour": "vanilla", "extra": 1}
+    assert record["duration"] == pytest.approx(2.5)
+    assert record["ts"] == 100.0
+    assert record["status"] == "ok"
+
+
+def test_span_nesting_links_parents_and_shares_trace():
+    tracer = Tracer()
+    with tracer.span("root") as root:
+        with tracer.span("child") as child:
+            with tracer.span("grandchild") as grandchild:
+                assert grandchild.trace_id == root.trace_id
+                assert grandchild.parent_id == child.span_id
+            assert child.parent_id == root.span_id
+    # finished depth-first: grandchild, child, root
+    names = [record["name"] for record in tracer.spans]
+    assert names == ["grandchild", "child", "root"]
+    by_name = {record["name"]: record for record in tracer.spans}
+    assert by_name["root"]["parent_id"] is None
+    assert by_name["child"]["parent_id"] == by_name["root"]["span_id"]
+    # ids are deterministic counters, not random
+    assert by_name["root"]["span_id"] == 1
+    assert by_name["root"]["trace_id"] == 1
+
+
+def test_sibling_roots_get_fresh_traces():
+    tracer = Tracer()
+    with tracer.span("first"):
+        pass
+    with tracer.span("second"):
+        pass
+    first, second = tracer.spans
+    assert first["trace_id"] != second["trace_id"]
+
+
+def test_counters_bubble_to_ancestors_and_tracer_totals():
+    tracer = Tracer()
+    with tracer_scope(tracer):
+        with tracer.span("root"):
+            with tracer.span("child"):
+                incr("widgets", 3)
+                observe("latency", 0.5)
+            incr("widgets", 1)
+    by_name = {record["name"]: record for record in tracer.spans}
+    assert by_name["child"]["counters"] == {"widgets": 3}
+    # the root aggregates its subtree
+    assert by_name["root"]["counters"] == {"widgets": 4}
+    assert tracer.metrics.counters == {"widgets": 4}
+    assert by_name["child"]["observations"]["latency"]["count"] == 1
+
+
+def test_exception_marks_span_error_and_still_exports():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("boom"):
+            raise ValueError("no")
+    record = tracer.spans[0]
+    assert record["status"] == "error"
+    assert "ValueError" in record["error"]
+
+
+def test_tracer_scope_installs_and_masks():
+    tracer = Tracer()
+    assert current_tracer() is None
+    with tracer_scope(tracer):
+        assert current_tracer() is tracer
+        with tracer_scope(None):
+            assert current_tracer() is None
+            assert span("anything") is NULL_SPAN
+        assert current_tracer() is tracer
+    assert current_tracer() is None
+
+
+def test_module_level_span_uses_ambient_tracer():
+    tracer = Tracer()
+    with tracer_scope(tracer):
+        with span("ambient.op") as sp:
+            sp.incr("ticks", 2)
+    assert tracer.spans[0]["name"] == "ambient.op"
+    assert tracer.spans[0]["counters"] == {"ticks": 2}
+
+
+def test_metrics_observe_aggregates():
+    metrics = Metrics()
+    for value in (3.0, 1.0, 2.0):
+        metrics.observe("v", value)
+    assert metrics.observations["v"] == [3, 6.0, 1.0, 3.0]
+    merged = Metrics()
+    merged.observe("v", 10.0)
+    merged.merge_from(metrics)
+    assert merged.observations["v"] == [4, 16.0, 1.0, 10.0]
+
+
+def test_exporter_receives_each_finished_span():
+    collector = InMemoryCollector()
+    tracer = Tracer(exporters=[collector])
+    with tracer.span("a"):
+        with tracer.span("b"):
+            pass
+    assert [record["name"] for record in collector.spans] == ["b", "a"]
+
+
+def test_summarize_counts_root_counters_once():
+    tracer = Tracer()
+    with tracer_scope(tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                incr("events", 5)
+    summary = summarize(tracer.spans)
+    # bubbled into outer AND present on inner; summarize must not double it
+    assert summary["counters"]["events"] == 5
+    assert summary["operations"]["inner"]["count"] == 1
+    assert summary["operations"]["outer"]["count"] == 1
