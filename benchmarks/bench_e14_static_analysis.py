@@ -1,0 +1,129 @@
+"""E14 — static analysis and the stratified solver fast path.
+
+Builds E3-style access-control programs (roles, resource types, definite
+permit rules with stratified negation) at increasing scale, runs the
+lint+solve cell over each, and compares solving with the
+stratification/tightness fast path against the always-verify baseline.
+
+Expected shape: the linter certifies the workload clean, every
+Gelfond–Lifschitz stability check is skipped on the fast path
+(``stability_checks == 0``, ``stability_skips == models``), and both
+configurations return identical answer sets.
+"""
+
+import pytest
+
+from repro.asp.parser import parse_program
+from repro.asp.solver import solve
+
+from common import lint_and_solve
+
+ROLES = ("dba", "dev", "auditor")
+ROOTS = ("permit",)
+
+
+def workload(n_users, n_resources):
+    """A stratified, tight access-control program of the E3 shape."""
+    lines = []
+    for u in range(n_users):
+        lines.append(f"role(u{u}, {ROLES[u % len(ROLES)]}).")
+    for r in range(n_resources):
+        rtype = "db" if r % 2 == 0 else "doc"
+        lines.append(f"rtype(r{r}, {rtype}).")
+        if r % 3 == 0:
+            lines.append(f"sensitive(r{r}).")
+    lines += [
+        "permit(U, R) :- role(U, dba), rtype(R, db).",
+        "permit(U, R) :- role(U, dev), rtype(R, doc), not sensitive(R).",
+        "permit(U, R) :- role(U, auditor), rtype(R, T), not sensitive(R).",
+    ]
+    return parse_program("\n".join(lines))
+
+
+def normalized(models):
+    return sorted(sorted(str(a) for a in m) for m in models)
+
+
+@pytest.mark.parametrize("n_users,n_resources", [(6, 8), (12, 16), (24, 32)])
+def test_lint_and_solve_cell(report, benchmark, n_users, n_resources):
+    program = workload(n_users, n_resources)
+
+    diagnostics, fast = lint_and_solve(program, source="e14", roots=ROOTS)
+    slow = solve(program, use_fast_path=False)
+
+    # the linter certifies the workload clean...
+    assert [d for d in diagnostics if d.is_error] == []
+    # ...the fast path skips every stability check...
+    assert fast.stats.stability_checks == 0
+    assert fast.stats.stability_skips > 0
+    assert slow.stats.stability_skips == 0
+    assert slow.stats.stability_checks > 0
+    # ...and answers are identical (differential guarantee)
+    assert normalized(fast) == normalized(slow)
+
+    report(
+        f"E14 — static analysis fast path ({n_users} users, {n_resources} resources)",
+        f"{'config':>14} {'models':>7} {'GL checks':>10} {'GL skips':>9} {'steps':>8}",
+        f"{'fast path':>14} {len(fast):>7} {fast.stats.stability_checks:>10} "
+        f"{fast.stats.stability_skips:>9} {fast.stats.steps:>8}",
+        f"{'always-check':>14} {len(slow):>7} {slow.stats.stability_checks:>10} "
+        f"{slow.stats.stability_skips:>9} {slow.stats.steps:>8}",
+    )
+
+    benchmark.pedantic(
+        lambda: lint_and_solve(program, source="e14", roots=ROOTS),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_lint_overhead_is_small(report, benchmark):
+    """Linting is static (no grounding): it must be cheap relative to solving."""
+    import time
+
+    program = workload(24, 32)
+    start = time.monotonic()
+    diagnostics, result = lint_and_solve(program, source="e14", roots=ROOTS)
+    total = time.monotonic() - start
+
+    from repro.analysis import lint_program
+
+    start = time.monotonic()
+    lint_program(program, source="e14", roots=ROOTS)
+    lint_only = time.monotonic() - start
+
+    assert diagnostics == lint_program(program, source="e14", roots=ROOTS)
+    report(
+        "E14 — lint overhead",
+        f"lint-only: {lint_only * 1e3:.2f} ms of {total * 1e3:.2f} ms total "
+        f"({100 * lint_only / max(total, 1e-9):.1f}%)",
+    )
+    benchmark.pedantic(
+        lambda: lint_program(program, source="e14", roots=ROOTS),
+        rounds=5,
+        iterations=1,
+    )
+
+
+def test_unstratified_workload_keeps_full_checking(report):
+    """Differential control: an unstratified variant must not skip checks."""
+    base = workload(6, 8)
+    text = "\n".join(
+        [repr(r) for r in base.rules]
+        + [
+            "review(R) :- rtype(R, db), not cleared(R).",
+            "cleared(R) :- rtype(R, db), not review(R).",
+        ]
+    )
+    program = parse_program(text)
+    diagnostics, result = lint_and_solve(
+        program, source="e14_unstratified", roots=ROOTS + ("review", "cleared")
+    )
+    assert any(d.code == "ASP002" for d in diagnostics)
+    assert result.stats.stability_skips == 0
+    assert result.stats.stability_checks > 0
+    report(
+        "E14 — unstratified control",
+        f"models={len(result)} GL checks={result.stats.stability_checks} "
+        f"(fast path correctly disabled; ASP002 reported by the linter)",
+    )

@@ -20,11 +20,32 @@ import json
 import os
 import time
 
+from repro.analysis import lint_program
+from repro.asp.solver import solve
 from repro.telemetry import JsonlExporter, Tracer, summarize, tracer_scope
 
 ARTIFACT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "artifacts")
 
-__all__ = ["ARTIFACT_DIR", "artifact_paths", "telemetry_session"]
+__all__ = [
+    "ARTIFACT_DIR",
+    "artifact_paths",
+    "telemetry_session",
+    "lint_and_solve",
+]
+
+
+def lint_and_solve(program, source=None, roots=(), **solve_kwargs):
+    """One lint+solve benchmark cell: static analysis, then the solver.
+
+    Returns ``(diagnostics, result)`` where ``result.stats`` carries the
+    run's :class:`~repro.asp.solver.SolveStats` (including
+    ``stability_skips``, the Gelfond–Lifschitz checks the stratified
+    fast path avoided).  Both phases run under the ambient tracer, so
+    the BENCH_* artifacts record lint findings next to solver counters.
+    """
+    diagnostics = lint_program(program, source=source, roots=roots)
+    result = solve(program, **solve_kwargs)
+    return diagnostics, result
 
 
 def artifact_paths(name):

@@ -8,8 +8,10 @@ policies shared by other AMSs.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.analysis.asg_lint import lint_asg
+from repro.analysis.diagnostics import Diagnostic
 from repro.core.contexts import Context
 from repro.core.gpm import GenerativePolicyModel
 from repro.core.workflow import LabeledExample
@@ -51,10 +53,32 @@ class PolicyCheckingPoint:
         self.interpreter = interpreter
         self.schema = schema
         self._known_violations: List[LabeledExample] = []
+        # id(grammar) -> (grammar, diagnostics); the strong reference keeps
+        # the id stable for the lifetime of the cache entry
+        self._preflight_cache: Dict[int, Tuple[object, List[Diagnostic]]] = {}
 
     def record_violation(self, example: LabeledExample) -> None:
         """Register a known-bad policy/context pair (negative example)."""
         self._known_violations.append(example)
+
+    # -- static preflight ------------------------------------------------------
+
+    def preflight(self, model: GenerativePolicyModel) -> List[Diagnostic]:
+        """Static diagnostics for the model's effective grammar ``G : H``.
+
+        The quality-checker half of the PCP (Figure 2) that needs no
+        examples: the grammar and its annotation programs are linted
+        (:func:`repro.analysis.lint_asg`) and the findings cached per
+        effective grammar, so repeated ``check_policy`` calls against
+        one model version lint once.
+        """
+        grammar = model.grammar
+        cached = self._preflight_cache.get(id(grammar))
+        if cached is not None and cached[0] is grammar:
+            return cached[1]
+        diagnostics = lint_asg(grammar, source=f"gpm v{model.version}")
+        self._preflight_cache[id(grammar)] = (grammar, diagnostics)
+        return diagnostics
 
     # -- violation detector ---------------------------------------------------
 
@@ -66,12 +90,18 @@ class PolicyCheckingPoint:
     ) -> CheckOutcome:
         """Violation detection for a single candidate policy.
 
-        A candidate is rejected if it (a) is not in the model's language
-        for the context (non-conformance — relevant for *shared*
-        policies learned elsewhere), or (b) matches a recorded negative
-        example in an equal-or-weaker context.
+        A candidate is rejected if it (a) comes from a model whose
+        effective grammar has *error*-severity static diagnostics
+        (:meth:`preflight`; warnings and infos do not reject), (b) is
+        not in the model's language for the context (non-conformance —
+        relevant for *shared* policies learned elsewhere), or (c)
+        matches a recorded negative example in an equal-or-weaker
+        context.
         """
         reasons: List[str] = []
+        for diagnostic in self.preflight(model):
+            if diagnostic.is_error:
+                reasons.append(f"static analysis: {diagnostic.format()}")
         if not model.valid(policy.tokens, context):
             reasons.append("not in L(G(C)) for the local context")
         for violation in self._known_violations:

@@ -1,0 +1,150 @@
+"""Command-line interface for the static analyzer.
+
+.. code-block:: none
+
+    python -m repro.analysis lint policy.lp
+    python -m repro.analysis lint grammar.asg other.lp --format json
+    python -m repro.analysis lint examples/policies/
+
+Files are dispatched on extension: ``.lp``/``.asp`` are ASP programs,
+``.cfg``/``.grammar`` are context-free grammars, ``.asg`` are answer set
+grammars.  Directories are walked recursively for those extensions.
+Syntax errors are reported as ``SYN001`` error diagnostics rather than
+tracebacks.  The exit status is 1 when any *error*-severity diagnostic
+was emitted (warnings and infos alone exit 0), 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.errors import ASPSyntaxError, GrammarError, GrammarSyntaxError, Span
+from repro.analysis.diagnostics import ERROR, Diagnostic, DiagnosticCollector
+
+__all__ = ["main", "lint_path", "LINTABLE_SUFFIXES"]
+
+ASP_SUFFIXES = (".lp", ".asp")
+CFG_SUFFIXES = (".cfg", ".grammar")
+ASG_SUFFIXES = (".asg",)
+LINTABLE_SUFFIXES = ASP_SUFFIXES + CFG_SUFFIXES + ASG_SUFFIXES
+
+
+def _syntax_diagnostic(exc: Exception, source: str) -> Diagnostic:
+    span = None
+    line = getattr(exc, "line", 0)
+    if line:
+        span = Span(line, getattr(exc, "column", 0) or 1)
+    return Diagnostic(
+        "SYN001",
+        ERROR,
+        f"syntax error: {exc}",
+        span=span,
+        source=source,
+        hint="fix the syntax error before further analysis",
+    )
+
+
+def _lint_asp_file(
+    text: str, source: str, roots: Sequence[str] = ()
+) -> List[Diagnostic]:
+    from repro.asp.parser import parse_program
+    from repro.analysis.asp_lint import lint_program
+
+    try:
+        program = parse_program(text)
+    except ASPSyntaxError as exc:
+        return [_syntax_diagnostic(exc, source)]
+    return lint_program(program, source=source, roots=roots)
+
+
+def _lint_cfg_file(text: str, source: str) -> List[Diagnostic]:
+    from repro.grammar.cfg_parser import parse_cfg
+    from repro.analysis.grammar_lint import lint_cfg
+
+    try:
+        cfg = parse_cfg(text, strict=False)
+    except (GrammarSyntaxError, GrammarError) as exc:
+        return [_syntax_diagnostic(exc, source)]
+    return lint_cfg(cfg, source=source)
+
+
+def _lint_asg_file(text: str, source: str) -> List[Diagnostic]:
+    from repro.asg.asg_parser import parse_asg
+    from repro.analysis.asg_lint import lint_asg
+
+    try:
+        asg = parse_asg(text, strict=False)
+    except (ASPSyntaxError, GrammarSyntaxError, GrammarError) as exc:
+        return [_syntax_diagnostic(exc, source)]
+    return lint_asg(asg, source=source)
+
+
+def lint_path(path: Path, roots: Sequence[str] = ()) -> List[Diagnostic]:
+    """Lint one file or every lintable file under a directory."""
+    if path.is_dir():
+        out: List[Diagnostic] = []
+        for child in sorted(path.rglob("*")):
+            if child.is_file() and child.suffix in LINTABLE_SUFFIXES:
+                out.extend(lint_path(child, roots=roots))
+        return out
+    source = str(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        return [
+            Diagnostic(
+                "SYN001", ERROR, f"cannot read file: {exc}", source=source
+            )
+        ]
+    if path.suffix in ASG_SUFFIXES:
+        return _lint_asg_file(text, source)
+    if path.suffix in CFG_SUFFIXES:
+        return _lint_cfg_file(text, source)
+    return _lint_asp_file(text, source, roots=roots)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static analysis for ASP policies and answer set grammars.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    lint = sub.add_parser(
+        "lint", help="lint .lp/.asp/.cfg/.grammar/.asg files or directories"
+    )
+    lint.add_argument("paths", nargs="+", help="files or directories to lint")
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    lint.add_argument(
+        "--root",
+        action="append",
+        default=[],
+        metavar="PREDICATE",
+        help="output predicate exempt from the unused-predicate lint "
+        "(repeatable)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    collector = DiagnosticCollector()
+    for raw in args.paths:
+        path = Path(raw)
+        if not path.exists():
+            print(f"error: no such file or directory: {raw}")
+            return 2
+        collector.extend(lint_path(path, roots=args.root))
+
+    if args.format == "json":
+        print(collector.render_json())
+    else:
+        print(collector.render_text())
+    return 1 if collector.has_errors() else 0

@@ -1,0 +1,220 @@
+"""The diagnostics core: stable-coded findings with source spans.
+
+Every linter in :mod:`repro.analysis` reports its findings as
+:class:`Diagnostic` values — a stable code (``ASP001``, ``GRM002``,
+``ASG001``, ``MB001``, ...), a severity, a human message, an optional
+source :class:`~repro.errors.Span`, and an optional fix hint.  The
+:class:`DiagnosticCollector` accumulates them across linters and files
+and renders them as text (one ``file:line:col: severity[CODE] message``
+line each) or JSON (round-trippable via :func:`diagnostics_from_json`).
+
+Severity semantics follow the paper's PCP contract (Figure 2): ``error``
+diagnostics describe programs that will misbehave at ground/solve time
+(unsafe rules, out-of-range ASG annotations, an empty policy language)
+and are folded into :class:`~repro.agenp.pcp.CheckOutcome` rejections;
+``warning`` and ``info`` diagnostics describe quality issues (the
+Section V consistency/minimality/completeness axes) that do not block a
+policy from reaching the repository.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.errors import Span
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "INFO",
+    "SEVERITIES",
+    "Diagnostic",
+    "DiagnosticCollector",
+    "diagnostics_from_json",
+]
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+SEVERITIES = (ERROR, WARNING, INFO)
+
+_SEVERITY_RANK = {ERROR: 0, WARNING: 1, INFO: 2}
+
+
+class Diagnostic:
+    """One finding: a stable code, severity, message, and location.
+
+    ``code`` is stable across releases (tools may filter on it);
+    ``source`` names the file (or logical unit, e.g. ``production 3``)
+    the finding belongs to; ``hint`` suggests a fix when one is known.
+    """
+
+    __slots__ = ("code", "severity", "message", "span", "source", "hint")
+
+    def __init__(
+        self,
+        code: str,
+        severity: str,
+        message: str,
+        span: Optional[Span] = None,
+        source: Optional[str] = None,
+        hint: Optional[str] = None,
+    ):
+        if severity not in _SEVERITY_RANK:
+            raise ValueError(f"unknown severity {severity!r}")
+        self.code = code
+        self.severity = severity
+        self.message = message
+        self.span = span
+        self.source = source
+        self.hint = hint
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == ERROR
+
+    def with_source(self, source: str) -> "Diagnostic":
+        """A copy attributed to ``source`` (used when linting files)."""
+        return Diagnostic(
+            self.code, self.severity, self.message, self.span, source, self.hint
+        )
+
+    def format(self) -> str:
+        """Render as one ``file:line:col: severity[CODE] message`` line."""
+        prefix = self.source or "<program>"
+        if self.span is not None:
+            prefix = f"{prefix}:{self.span.line}:{self.span.col}"
+        line = f"{prefix}: {self.severity}[{self.code}] {self.message}"
+        if self.hint:
+            line = f"{line} (hint: {self.hint})"
+        return line
+
+    def as_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.span is not None:
+            data["span"] = self.span.as_dict()
+        if self.source is not None:
+            data["source"] = self.source
+        if self.hint is not None:
+            data["hint"] = self.hint
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Diagnostic":
+        span = data.get("span")
+        return cls(
+            str(data["code"]),
+            str(data["severity"]),
+            str(data["message"]),
+            Span.from_dict(span) if isinstance(span, dict) else None,
+            data.get("source"),  # type: ignore[arg-type]
+            data.get("hint"),  # type: ignore[arg-type]
+        )
+
+    def sort_key(self) -> tuple:
+        span = self.span
+        return (
+            self.source or "",
+            span.line if span is not None else 0,
+            span.col if span is not None else 0,
+            _SEVERITY_RANK[self.severity],
+            self.code,
+        )
+
+    def __repr__(self) -> str:
+        return f"Diagnostic({self.format()!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Diagnostic) and (
+            (self.code, self.severity, self.message, self.span, self.source, self.hint)
+            == (other.code, other.severity, other.message, other.span, other.source, other.hint)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.code, self.severity, self.message, self.span, self.source))
+
+
+class DiagnosticCollector:
+    """Accumulates diagnostics across linters, files, and passes."""
+
+    def __init__(self, diagnostics: Iterable[Diagnostic] = ()):
+        self.diagnostics: List[Diagnostic] = list(diagnostics)
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __bool__(self) -> bool:
+        return bool(self.diagnostics)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == WARNING]
+
+    @property
+    def infos(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == INFO]
+
+    def has_errors(self) -> bool:
+        return any(d.severity == ERROR for d in self.diagnostics)
+
+    def counts(self) -> Dict[str, int]:
+        out = {severity: 0 for severity in SEVERITIES}
+        for diagnostic in self.diagnostics:
+            out[diagnostic.severity] += 1
+        return out
+
+    def sorted(self) -> List[Diagnostic]:
+        """Diagnostics ordered by source, position, severity, code."""
+        return sorted(self.diagnostics, key=lambda d: d.sort_key())
+
+    # -- renderers --------------------------------------------------------
+
+    def render_text(self, summary: bool = True) -> str:
+        """One line per diagnostic plus an ``N errors, M warnings`` tail."""
+        lines = [d.format() for d in self.sorted()]
+        if summary:
+            counts = self.counts()
+            lines.append(
+                f"{counts[ERROR]} error(s), {counts[WARNING]} warning(s), "
+                f"{counts[INFO]} info(s)"
+            )
+        return "\n".join(lines)
+
+    def render_json(self, indent: Optional[int] = 2) -> str:
+        """A JSON document round-trippable via :func:`diagnostics_from_json`."""
+        payload = {
+            "diagnostics": [d.as_dict() for d in self.sorted()],
+            "counts": self.counts(),
+        }
+        return json.dumps(payload, indent=indent, sort_keys=True)
+
+    def __repr__(self) -> str:
+        counts = self.counts()
+        inner = " ".join(f"{k}={v}" for k, v in counts.items())
+        return f"DiagnosticCollector({inner})"
+
+
+def diagnostics_from_json(text: str) -> "DiagnosticCollector":
+    """Parse :meth:`DiagnosticCollector.render_json` output back."""
+    payload = json.loads(text)
+    items = payload["diagnostics"] if isinstance(payload, dict) else payload
+    return DiagnosticCollector(Diagnostic.from_dict(item) for item in items)

@@ -1,0 +1,68 @@
+"""Static linter for context-free grammars.
+
+========  ========  =====================================================
+code      severity  finding
+========  ========  =====================================================
+GRM001    warning   nonterminal unreachable from the start symbol
+GRM002    warning   unproductive nonterminal (no productions, or none
+                    that derive a terminal string)
+GRM003    error     the start symbol is unproductive — the policy
+                    language is empty
+========  ========  =====================================================
+
+Construct grammars with ``CFG(..., strict=False)`` /
+``parse_cfg(text, strict=False)`` to reach the linter instead of the
+historical construction-time :class:`~repro.errors.GrammarError`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.grammar.cfg import CFG
+from repro.analysis.diagnostics import ERROR, WARNING, Diagnostic
+
+__all__ = ["lint_cfg"]
+
+
+def lint_cfg(cfg: CFG, source: Optional[str] = None) -> List[Diagnostic]:
+    """Run every grammar lint over ``cfg``."""
+    out: List[Diagnostic] = []
+    reachable = cfg.reachable_set()
+    generating = cfg.generating_set()
+
+    for nt in sorted(cfg.nonterminals - reachable):
+        out.append(
+            Diagnostic(
+                "GRM001",
+                WARNING,
+                f"nonterminal '{nt}' is unreachable from the start symbol "
+                f"'{cfg.start}'",
+                source=source,
+                hint="remove the nonterminal or reference it from a "
+                "reachable production",
+            )
+        )
+    for nt in sorted(cfg.nonterminals - generating):
+        if not cfg.productions_for(nt):
+            message = f"nonterminal '{nt}' has no productions"
+            hint = "add at least one production for it"
+        else:
+            message = (
+                f"nonterminal '{nt}' is unproductive: no derivation "
+                f"reaches a terminal string"
+            )
+            hint = "add a non-recursive production for it"
+        out.append(Diagnostic("GRM002", WARNING, message, source=source, hint=hint))
+    if cfg.start not in generating:
+        out.append(
+            Diagnostic(
+                "GRM003",
+                ERROR,
+                f"the start symbol '{cfg.start}' derives no terminal string: "
+                f"the language is empty",
+                source=source,
+                hint="make the start symbol productive",
+            )
+        )
+    return out

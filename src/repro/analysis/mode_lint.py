@@ -1,0 +1,164 @@
+"""Static lints for learning tasks and their mode-bias hypothesis spaces.
+
+========  ========  =====================================================
+code      severity  finding
+========  ========  =====================================================
+MB001     warning   no hypothesis head predicate appears in any example
+                    (LAS tasks), or a candidate rule targets a production
+                    id outside the initial grammar (ASG tasks — error)
+MB002     warning   a candidate rule's positive body literal uses a
+                    predicate nothing can derive (not in the background,
+                    not a hypothesis head, not in any example context),
+                    so the candidate can never fire
+========  ========  =====================================================
+
+The task classes are matched structurally (``hasattr``) rather than by
+import so that :mod:`repro.learning` can depend on this module without a
+cycle: an object with ``background`` + ``hypothesis_space`` is treated
+as a LAS task, one with ``initial`` + ``hypothesis_space`` as an ASG
+learning task.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set
+
+from repro.analysis.diagnostics import ERROR, WARNING, Diagnostic
+
+__all__ = ["lint_task"]
+
+
+def _head_predicates(rule) -> Set[str]:
+    predicates: Set[str] = set()
+    head = getattr(rule, "head", None)
+    if head is not None:
+        predicates.add(head.predicate)
+    for elem in getattr(rule, "elements", ()):
+        predicates.add(elem.predicate)
+    return predicates
+
+
+def _positive_body_predicates(rule) -> Set[str]:
+    predicates: Set[str] = set()
+    for elem in rule.body:
+        atom = getattr(elem, "atom", None)
+        if atom is not None and getattr(elem, "positive", True):
+            predicates.add(atom.predicate)
+    return predicates
+
+
+def _program_head_predicates(program: Iterable) -> Set[str]:
+    predicates: Set[str] = set()
+    for rule in program:
+        predicates |= _head_predicates(rule)
+    return predicates
+
+
+def _candidate_source(candidate, source: Optional[str]) -> str:
+    label = f"candidate {candidate!r}"
+    return f"{source}: {label}" if source else label
+
+
+def _lint_dead_bodies(task, derivable: Set[str], source: Optional[str]) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for candidate in task.hypothesis_space:
+        dead = sorted(_positive_body_predicates(candidate.rule) - derivable)
+        for predicate in dead:
+            out.append(
+                Diagnostic(
+                    "MB002",
+                    WARNING,
+                    f"body predicate '{predicate}' is never derivable "
+                    f"(not in the background/grammar, hypothesis heads, or "
+                    f"any example context), so this candidate can never fire",
+                    span=getattr(candidate.rule, "span", None),
+                    source=_candidate_source(candidate, source),
+                    hint=f"define '{predicate}' or drop the mode declaration",
+                )
+            )
+    return out
+
+
+def _lint_las_task(task, source: Optional[str]) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    hypothesis_heads: Set[str] = set()
+    for candidate in task.hypothesis_space:
+        hypothesis_heads |= _head_predicates(candidate.rule)
+
+    example_predicates: Set[str] = set()
+    context_heads: Set[str] = set()
+    for example in list(task.positive) + list(task.negative):
+        for atom in list(example.inclusions) + list(example.exclusions):
+            example_predicates.add(atom.predicate)
+        context_heads |= _program_head_predicates(example.context)
+
+    if hypothesis_heads and example_predicates and not (
+        hypothesis_heads & example_predicates
+    ):
+        out.append(
+            Diagnostic(
+                "MB001",
+                WARNING,
+                f"no hypothesis head predicate "
+                f"({', '.join(sorted(hypothesis_heads))}) appears in any "
+                f"example inclusion/exclusion "
+                f"({', '.join(sorted(example_predicates))})",
+                source=source,
+                hint="learned rules cannot change example coverage unless "
+                "their heads (or consequences) are observed; check the "
+                "modeh declarations",
+            )
+        )
+
+    derivable = (
+        _program_head_predicates(task.background) | hypothesis_heads | context_heads
+    )
+    out.extend(_lint_dead_bodies(task, derivable, source))
+    return out
+
+
+def _lint_asg_task(task, source: Optional[str]) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    asg = task.initial
+    n_productions = len(asg.cfg.productions)
+
+    hypothesis_heads: Set[str] = set()
+    for candidate in task.hypothesis_space:
+        hypothesis_heads |= _head_predicates(candidate.rule)
+        prod_id = candidate.prod_id
+        if prod_id is not None and not (0 <= prod_id < n_productions):
+            out.append(
+                Diagnostic(
+                    "MB001",
+                    ERROR,
+                    f"candidate targets production id {prod_id}, but the "
+                    f"initial grammar has productions 0..{n_productions - 1}",
+                    span=getattr(candidate.rule, "span", None),
+                    source=_candidate_source(candidate, source),
+                    hint="hypothesis elements must attach to an existing "
+                    "production (Definition 3)",
+                )
+            )
+
+    grammar_heads: Set[str] = set()
+    for prod in asg.cfg.productions:
+        grammar_heads |= _program_head_predicates(asg.annotation(prod.prod_id))
+    context_heads: Set[str] = set()
+    for example in list(task.positive) + list(task.negative):
+        context_heads |= _program_head_predicates(example.context)
+
+    derivable = grammar_heads | hypothesis_heads | context_heads
+    out.extend(_lint_dead_bodies(task, derivable, source))
+    return out
+
+
+def lint_task(task, source: Optional[str] = None) -> List[Diagnostic]:
+    """Lint a learning task (LAS or ASG, matched structurally)."""
+    if hasattr(task, "background") and hasattr(task, "hypothesis_space"):
+        return _lint_las_task(task, source)
+    if hasattr(task, "initial") and hasattr(task, "hypothesis_space"):
+        return _lint_asg_task(task, source)
+    raise TypeError(
+        f"not a learning task (expected 'background' or 'initial' plus "
+        f"'hypothesis_space' attributes): {type(task).__name__}"
+    )

@@ -17,16 +17,19 @@ from repro.asp.rules import Program, Rule
 from repro.errors import GrammarError
 from repro.grammar.cfg import CFG, Production
 
-__all__ = ["ASG", "validate_annotation"]
+__all__ = ["ASG", "annotation_violations", "validate_annotation"]
 
 
-def validate_annotation(production: Production, program: Program) -> None:
-    """Check Definition 1: every annotation is an integer in ``1..k``.
+def annotation_violations(production: Production, program: Program) -> List[tuple]:
+    """The Definition-1 violations of a production-local program.
 
-    (Our atoms carry trace-tuple annotations; in a production-local
-    program each must be a singleton ``(i,)`` with ``1 <= i <= k``.)
+    Returns ``(rule, atom)`` pairs whose annotation is not a singleton
+    ``(i,)`` with ``1 <= i <= k`` (``k`` the production's rhs length).
+    Shared by :func:`validate_annotation` (which raises on the first)
+    and the static ASG linter (which reports all as diagnostics).
     """
     arity = len(production.rhs)
+    violations: List[tuple] = []
     for rule in program:
         atoms = []
         if hasattr(rule, "head") and rule.head is not None:
@@ -41,10 +44,24 @@ def validate_annotation(production: Production, program: Program) -> None:
             if atom.annotation is None:
                 continue
             if len(atom.annotation) != 1 or not (1 <= atom.annotation[0] <= arity):
-                raise GrammarError(
-                    f"annotation {atom.annotation} out of range 1..{arity} "
-                    f"in rule {rule!r} of production {production!r}"
-                )
+                violations.append((rule, atom))
+    return violations
+
+
+def validate_annotation(production: Production, program: Program) -> None:
+    """Check Definition 1: every annotation is an integer in ``1..k``.
+
+    (Our atoms carry trace-tuple annotations; in a production-local
+    program each must be a singleton ``(i,)`` with ``1 <= i <= k``.)
+    """
+    violations = annotation_violations(production, program)
+    if violations:
+        rule, atom = violations[0]
+        arity = len(production.rhs)
+        raise GrammarError(
+            f"annotation {atom.annotation} out of range 1..{arity} "
+            f"in rule {rule!r} of production {production!r}"
+        )
 
 
 class ASG:
@@ -52,16 +69,28 @@ class ASG:
 
     ``annotations`` maps production ids (as assigned by the CFG) to ASP
     programs; productions without an entry have the empty annotation.
+
+    ``strict`` (the default) validates every annotation program against
+    Definition 1 at construction time; ``strict=False`` defers that to
+    the static analyzer (:func:`repro.analysis.lint_asg`), which reports
+    violations as diagnostics instead of raising.
     """
 
-    def __init__(self, cfg: CFG, annotations: Optional[Mapping[int, Program]] = None):
+    def __init__(
+        self,
+        cfg: CFG,
+        annotations: Optional[Mapping[int, Program]] = None,
+        strict: bool = True,
+    ):
         self.cfg = cfg
+        self.strict = strict
         self.annotations: Dict[int, Program] = {}
         if annotations:
             for prod_id, program in annotations.items():
                 if not (0 <= prod_id < len(cfg.productions)):
                     raise GrammarError(f"no production with id {prod_id}")
-                validate_annotation(cfg.production(prod_id), program)
+                if strict:
+                    validate_annotation(cfg.production(prod_id), program)
                 self.annotations[prod_id] = Program(list(program))
 
     # -- accessors -----------------------------------------------------------
@@ -92,9 +121,10 @@ class ASG:
                 raise GrammarError(f"no production with id {prod_id}")
             program = annotations.setdefault(prod_id, Program())
             program.add(rule)
-        result = ASG(self.cfg)
+        result = ASG(self.cfg, strict=self.strict)
         for prod_id, program in annotations.items():
-            validate_annotation(self.cfg.production(prod_id), program)
+            if self.strict:
+                validate_annotation(self.cfg.production(prod_id), program)
             result.annotations[prod_id] = program
         return result
 

@@ -114,8 +114,13 @@ def _scan(text: str) -> List[Tuple[str, Optional[str]]]:
     return entries
 
 
-def parse_asg(text: str) -> ASG:
-    """Parse ASG source text into an :class:`ASG`."""
+def parse_asg(text: str, strict: bool = True) -> ASG:
+    """Parse ASG source text into an :class:`ASG`.
+
+    ``strict=False`` defers structural defects (nonterminals without
+    productions, out-of-range annotations) to the static analyzer
+    (:func:`repro.analysis.lint_asg`) instead of raising.
+    """
     entries = _scan(_strip_comments(text))
     if not entries:
         raise GrammarSyntaxError("empty grammar")
@@ -153,5 +158,5 @@ def parse_asg(text: str) -> ASG:
             annotations[index] = parse_program(annotation)
 
     start = order[0][0]
-    cfg = CFG(nonterminals, terminals, productions, start)
-    return ASG(cfg, annotations)
+    cfg = CFG(nonterminals, terminals, productions, start, strict=strict)
+    return ASG(cfg, annotations, strict=strict)

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Iterator, Optional, Sequence, Tuple
 
 from repro.asp.terms import Substitution, Term, Variable, term_sort_key
+from repro.errors import Span
 
 __all__ = ["Atom", "Literal", "Comparison", "TRUE_ATOM"]
 
@@ -25,21 +26,30 @@ Trace = Tuple[int, ...]
 
 
 class Atom:
-    """A (possibly annotated) predicate atom ``p(t1, ..., tn)@trace``."""
+    """A (possibly annotated) predicate atom ``p(t1, ..., tn)@trace``.
 
-    __slots__ = ("predicate", "args", "annotation", "_hash")
+    ``span`` is the source location of the predicate token when the atom
+    came from the parser (``None`` for synthesized atoms); it is carried
+    through substitution/evaluation but takes no part in equality or
+    hashing — two atoms from different source locations are still the
+    same atom.
+    """
+
+    __slots__ = ("predicate", "args", "annotation", "span", "_hash")
 
     def __init__(
         self,
         predicate: str,
         args: Sequence[Term] = (),
         annotation: Optional[Trace] = None,
+        span: Optional[Span] = None,
     ):
         self.predicate = predicate
         self.args: Tuple[Term, ...] = tuple(args)
         self.annotation: Optional[Trace] = (
             tuple(annotation) if annotation is not None else None
         )
+        self.span = span
         self._hash = hash((predicate, self.args, self.annotation))
 
     @property
@@ -63,15 +73,21 @@ class Atom:
             self.predicate,
             [a.substitute(theta) for a in self.args],
             self.annotation,
+            self.span,
         )
 
     def evaluate(self) -> "Atom":
         """Evaluate arithmetic inside arguments (requires groundness)."""
-        return Atom(self.predicate, [a.evaluate() for a in self.args], self.annotation)
+        return Atom(
+            self.predicate,
+            [a.evaluate() for a in self.args],
+            self.annotation,
+            self.span,
+        )
 
     def with_annotation(self, trace: Optional[Trace]) -> "Atom":
         """Return this atom re-annotated with ``trace``."""
-        return Atom(self.predicate, self.args, trace)
+        return Atom(self.predicate, self.args, trace, self.span)
 
     def sort_key(self) -> tuple:
         return (
@@ -124,6 +140,11 @@ class Literal:
     def variables(self) -> Iterator[Variable]:
         return self.atom.variables()
 
+    @property
+    def span(self) -> Optional[Span]:
+        """The source location of the literal (its atom's span)."""
+        return self.atom.span
+
     def substitute(self, theta: Substitution) -> "Literal":
         return Literal(self.atom.substitute(theta), self.positive)
 
@@ -162,9 +183,9 @@ class Comparison:
     :func:`repro.asp.terms.term_sort_key`).
     """
 
-    __slots__ = ("op", "left", "right")
+    __slots__ = ("op", "left", "right", "span")
 
-    def __init__(self, op: str, left: Term, right: Term):
+    def __init__(self, op: str, left: Term, right: Term, span: Optional[Span] = None):
         if op == "=":
             op = "=="
         if op not in _COMPARATORS:
@@ -172,6 +193,7 @@ class Comparison:
         self.op = op
         self.left = left
         self.right = right
+        self.span = span
 
     def is_ground(self) -> bool:
         return self.left.is_ground() and self.right.is_ground()
@@ -181,7 +203,9 @@ class Comparison:
         yield from self.right.variables()
 
     def substitute(self, theta: Substitution) -> "Comparison":
-        return Comparison(self.op, self.left.substitute(theta), self.right.substitute(theta))
+        return Comparison(
+            self.op, self.left.substitute(theta), self.right.substitute(theta), self.span
+        )
 
     def holds(self) -> bool:
         """Evaluate the comparison; both sides must be ground."""

@@ -45,7 +45,14 @@ from repro.errors import GroundingError, UnsafeRuleError
 from repro.runtime.budget import Budget, current_budget
 from repro.telemetry import span as _tele_span
 
-__all__ = ["ground_program", "GroundProgram", "GroundStats", "match_atom"]
+__all__ = [
+    "ground_program",
+    "GroundProgram",
+    "GroundStats",
+    "match_atom",
+    "binding_schedule",
+    "order_body",
+]
 
 
 class GroundStats:
@@ -180,13 +187,19 @@ def _bound_by_assignment(comp: Comparison, bound: Set[str]) -> Optional[str]:
     return None
 
 
-def order_body(rule: Rule) -> List[BodyElement]:
-    """Produce an evaluation order for a rule body.
+def binding_schedule(rule: Rule) -> Tuple[List[BodyElement], Set[str]]:
+    """The grounder's body-ordering/safety analysis, without grounding.
 
     Positive literals and assignment-comparisons are scheduled as soon as
     they can bind; tests (negative literals, non-assignment comparisons)
-    are scheduled once all their variables are bound.  Raises
-    :class:`UnsafeRuleError` if no complete schedule exists.
+    are scheduled once all their variables are bound.  Returns the
+    evaluation order achieved and the set of variable names that could
+    not be bound — empty iff the rule is safe.
+
+    This single function backs both :func:`order_body` (which turns a
+    non-empty unbound set into :class:`UnsafeRuleError`) and the static
+    ASP linter (:mod:`repro.analysis.asp_lint`), so grounding and lint
+    diagnostics agree by construction.
     """
     remaining = list(rule.body)
     ordered: List[BodyElement] = []
@@ -218,9 +231,10 @@ def order_body(rule: Rule) -> List[BodyElement]:
                     remaining.remove(elem)
                     progressed = True
         if not progressed:
-            raise UnsafeRuleError(
-                f"rule is unsafe (cannot bind all variables): {rule!r}"
-            )
+            break
+    unbound: Set[str] = set()
+    for elem in remaining:
+        unbound.update(v.name for v in elem.variables())
     head_vars: Set[str] = set()
     if isinstance(rule, NormalRule):
         if rule.head is not None:
@@ -230,10 +244,24 @@ def order_body(rule: Rule) -> List[BodyElement]:
     else:
         for atom in rule.elements:
             head_vars |= {v.name for v in atom.variables()}
-    unbound = head_vars - bound
+    unbound |= head_vars
+    unbound -= bound
+    return ordered, unbound
+
+
+def order_body(rule: Rule) -> List[BodyElement]:
+    """Produce an evaluation order for a rule body.
+
+    Raises :class:`UnsafeRuleError` (carrying the rule's source span,
+    when known, and the offending variable names) if no complete
+    schedule exists.
+    """
+    ordered, unbound = binding_schedule(rule)
     if unbound:
         raise UnsafeRuleError(
-            f"head variables {sorted(unbound)} unbound in rule: {rule!r}"
+            f"rule is unsafe (cannot bind variables {sorted(unbound)}): {rule!r}",
+            span=getattr(rule, "span", None),
+            variables=tuple(sorted(unbound)),
         )
     return ordered
 

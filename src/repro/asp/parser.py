@@ -49,7 +49,7 @@ from repro.asp.terms import (
     Variable,
     make_tuple,
 )
-from repro.errors import ASPSyntaxError
+from repro.errors import ASPSyntaxError, Span
 
 __all__ = ["parse_program", "parse_rule", "parse_atom", "parse_term", "Tokenizer"]
 
@@ -146,6 +146,17 @@ class _Parser:
         return program
 
     def _statement(self) -> List[Rule]:
+        """Parse one statement and stamp every produced rule with the
+        source span from its first token through its terminating token."""
+        start = self._peek()
+        rules = self._statement_inner()
+        end = self.tokens[self.pos - 1]
+        span = Span(start[2], start[3], end[2], end[3] + len(end[1]))
+        for rule in rules:
+            rule.span = span
+        return rules
+
+    def _statement_inner(self) -> List[Rule]:
         if self._at(":-"):
             self._next()
             body = self._body()
@@ -227,20 +238,31 @@ class _Parser:
             atom, __ = self._atom()
             return Literal(atom, positive=True)
         self.pos = checkpoint
+        first = self._peek()
         left = self._term()
         token = self._peek()
         if token is None or token[1] not in self._CMP_OPS:
+            atom_span = (
+                Span(first[2], first[3], first[2], first[3] + len(first[1]))
+                if first is not None
+                else None
+            )
             if isinstance(left, (Constant, Function)) and not isinstance(left, ArithTerm):
                 # a bare atom-like term: treat as atom
                 if isinstance(left, Constant):
-                    return Literal(Atom(left.name), positive=True)
+                    return Literal(Atom(left.name, span=atom_span), positive=True)
                 if isinstance(left, Function) and left.functor:
-                    return Literal(Atom(left.functor, left.args), positive=True)
+                    return Literal(
+                        Atom(left.functor, left.args, span=atom_span), positive=True
+                    )
             where = token or ("", "", 0, 0)
             raise ASPSyntaxError("expected comparison operator", where[2], where[3])
-        op = self._next()[1]
+        op_token = self._next()
+        op_span = Span(
+            op_token[2], op_token[3], op_token[2], op_token[3] + len(op_token[1])
+        )
         right = self._term()
-        return Comparison(op, left, right)
+        return Comparison(op_token[1], left, right, op_span)
 
     def _is_comparison_ahead(self) -> bool:
         """Heuristic look-ahead: does an IDENT-led body element continue
@@ -271,6 +293,7 @@ class _Parser:
         if token[0] != "IDENT":
             raise ASPSyntaxError(f"expected predicate name, found {token[1]!r}", token[2], token[3])
         predicate = token[1]
+        span = Span(token[2], token[3], token[2], token[3] + len(predicate))
         args: List[Term] = []
         intervals: List[Tuple[int, int, int]] = []  # (arg index, lo, hi)
         if self._at("("):
@@ -297,7 +320,7 @@ class _Parser:
         if self._at("@"):
             self._next()
             annotation = self._annotation()
-        return Atom(predicate, args, annotation), intervals
+        return Atom(predicate, args, annotation, span), intervals
 
     def _annotation(self) -> Tuple[int, ...]:
         if self._at("("):
@@ -386,7 +409,7 @@ def _expand_intervals(head: Atom, intervals) -> List[Atom]:
                 new_args[index] = Integer(value)
                 expanded.append(new_args)
         atoms = expanded
-    return [Atom(head.predicate, args, head.annotation) for args in atoms]
+    return [Atom(head.predicate, args, head.annotation, head.span) for args in atoms]
 
 
 def parse_program(text: str) -> Program:

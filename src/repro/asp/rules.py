@@ -20,6 +20,7 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Uni
 
 from repro.asp.atoms import Atom, Comparison, Literal
 from repro.asp.terms import Substitution, Variable
+from repro.errors import Span
 
 __all__ = ["BodyElement", "NormalRule", "ChoiceRule", "Rule", "Program", "fact"]
 
@@ -27,13 +28,24 @@ BodyElement = Union[Literal, Comparison]
 
 
 class NormalRule:
-    """A normal rule or (with ``head=None``) an integrity constraint."""
+    """A normal rule or (with ``head=None``) an integrity constraint.
 
-    __slots__ = ("head", "body")
+    ``span`` locates the rule in its source text when it came from the
+    parser; it is preserved through substitution and ignored by
+    equality/hashing.
+    """
 
-    def __init__(self, head: Optional[Atom], body: Sequence[BodyElement] = ()):
+    __slots__ = ("head", "body", "span")
+
+    def __init__(
+        self,
+        head: Optional[Atom],
+        body: Sequence[BodyElement] = (),
+        span: Optional[Span] = None,
+    ):
         self.head = head
         self.body: Tuple[BodyElement, ...] = tuple(body)
+        self.span = span
 
     @property
     def is_constraint(self) -> bool:
@@ -68,7 +80,7 @@ class NormalRule:
 
     def substitute(self, theta: Substitution) -> "NormalRule":
         head = self.head.substitute(theta) if self.head is not None else None
-        return NormalRule(head, [e.substitute(theta) for e in self.body])
+        return NormalRule(head, [e.substitute(theta) for e in self.body], self.span)
 
     def is_ground(self) -> bool:
         if self.head is not None and not self.head.is_ground():
@@ -101,7 +113,7 @@ class ChoiceRule:
     atoms (conditional elements are not supported in this fragment).
     """
 
-    __slots__ = ("elements", "lower", "upper", "body")
+    __slots__ = ("elements", "lower", "upper", "body", "span")
 
     def __init__(
         self,
@@ -109,11 +121,13 @@ class ChoiceRule:
         body: Sequence[BodyElement] = (),
         lower: Optional[int] = None,
         upper: Optional[int] = None,
+        span: Optional[Span] = None,
     ):
         self.elements: Tuple[Atom, ...] = tuple(elements)
         self.body: Tuple[BodyElement, ...] = tuple(body)
         self.lower = lower
         self.upper = upper
+        self.span = span
 
     def variables(self) -> Set[Variable]:
         out: Set[Variable] = set()
@@ -134,6 +148,7 @@ class ChoiceRule:
             [e.substitute(theta) for e in self.body],
             self.lower,
             self.upper,
+            self.span,
         )
 
     def is_ground(self) -> bool:
@@ -176,17 +191,19 @@ class WeakConstraint:
     consequence according to some value function", Section I).
     """
 
-    __slots__ = ("body", "weight", "priority")
+    __slots__ = ("body", "weight", "priority", "span")
 
     def __init__(
         self,
         body: Sequence[BodyElement],
         weight,
         priority: int = 0,
+        span: Optional[Span] = None,
     ):
         self.body: Tuple[BodyElement, ...] = tuple(body)
         self.weight = weight  # a Term (Integer once ground)
         self.priority = priority
+        self.span = span
 
     @property
     def head(self) -> None:  # uniform rule interface
@@ -209,6 +226,7 @@ class WeakConstraint:
             [e.substitute(theta) for e in self.body],
             self.weight.substitute(theta),
             self.priority,
+            self.span,
         )
 
     def is_ground(self) -> bool:

@@ -57,6 +57,9 @@ class SolveStats:
     * ``propagations`` — literal assignments forced by propagation;
     * ``conflicts`` — propagation dead-ends (backtrack triggers);
     * ``stability_checks`` — Gelfond–Lifschitz reduct verifications;
+    * ``stability_skips`` — candidate models accepted without a reduct
+      check because static analysis proved the ground program stratified
+      and tight (see :meth:`AnswerSetSolver.uses_fast_path`);
     * ``models`` — answer sets found;
     * ``steps`` — propagation passes (the unit the PR-1 Budget ticks).
     """
@@ -66,6 +69,7 @@ class SolveStats:
         "propagations",
         "conflicts",
         "stability_checks",
+        "stability_skips",
         "models",
         "steps",
     )
@@ -75,6 +79,7 @@ class SolveStats:
         self.propagations = 0
         self.conflicts = 0
         self.stability_checks = 0
+        self.stability_skips = 0
         self.models = 0
         self.steps = 0
 
@@ -121,6 +126,19 @@ class AnswerSetSolver:
     the ambient :func:`~repro.runtime.budget.current_budget`) is ticked
     once per propagation pass, so wall-clock deadlines and shared step
     budgets interrupt the solver mid-solve.
+
+    Stability fast path: every complete candidate reaching verification
+    is a *supported* model (no-support propagation runs to fixpoint
+    before the branch selector can report "all assigned").  When the
+    ground program's atom dependency graph is stratified **and** tight
+    (positive subgraph acyclic), supported models coincide with stable
+    models (Fages' theorem), so the Gelfond–Lifschitz reduct check is
+    provably redundant and is skipped — counted in
+    ``stats.stability_skips`` instead of ``stats.stability_checks``.
+    Tightness is essential: a merely stratified positive loop such as
+    ``p :- q. q :- p.`` has the supported model ``{p, q}`` that is not
+    stable.  ``use_fast_path=False`` disables the optimization (every
+    candidate takes the reduct check, as before this analysis existed).
     """
 
     def __init__(
@@ -128,10 +146,13 @@ class AnswerSetSolver:
         ground: GroundProgram,
         max_steps: int = 50_000_000,
         budget: Optional[Budget] = None,
+        use_fast_path: bool = True,
     ):
         self._max_steps = max_steps
         self._steps = 0
         self._budget = budget if budget is not None else current_budget()
+        self._use_fast_path = use_fast_path
+        self._fast_path: Optional[bool] = None  # decided lazily on first verify
         self.stats = SolveStats()
 
         self._atoms: List[Atom] = []
@@ -368,6 +389,38 @@ class AnswerSetSolver:
 
     # -- verification ----------------------------------------------------------
 
+    def uses_fast_path(self) -> bool:
+        """Whether stability checks are skipped for this ground program.
+
+        Decided once, lazily, from the ground-atom dependency graph:
+        edges run from each rule head to its body atoms (constraints
+        contribute none; choice-rule encodings introduce negative
+        2-cycles through their auxiliary atoms and therefore disable the
+        fast path automatically).  True iff the program is stratified
+        and tight and ``use_fast_path`` was not turned off.
+        """
+        if self._fast_path is None:
+            if not self._use_fast_path:
+                self._fast_path = False
+            else:
+                # Local import: repro.analysis imports repro.asp, so a
+                # module-level import here would cycle during package init.
+                from repro.analysis.graphs import check_stratification
+
+                positive: List[Tuple[int, int]] = []
+                negative: List[Tuple[int, int]] = []
+                for rule in self._rules:
+                    if rule.head is None:
+                        continue
+                    for atom_id, is_positive in rule.body:
+                        edge = (rule.head, atom_id)
+                        (positive if is_positive else negative).append(edge)
+                verdict = check_stratification(
+                    range(len(self._atoms)), positive, negative
+                )
+                self._fast_path = verdict.stratified and verdict.tight
+        return self._fast_path
+
     def _verify(self, assignment: List[int]) -> bool:
         """Check a complete assignment: rules, choice bounds, stability."""
         for rule in self._rules:
@@ -388,6 +441,9 @@ class AnswerSetSolver:
                 return False
             if upper is not None and count > upper:
                 return False
+        if self.uses_fast_path():
+            self.stats.stability_skips += 1
+            return True
         return self._stable(assignment)
 
     def _stable(self, assignment: List[int]) -> bool:
@@ -431,18 +487,21 @@ def solve(
     max_models: Optional[int] = None,
     max_steps: int = 50_000_000,
     budget: Optional[Budget] = None,
+    use_fast_path: bool = True,
 ) -> SolveResult:
     """Ground and solve ``program``; return its answer sets.
 
     ``budget`` (explicit or ambient) governs both phases: grounding and
     solving tick the same budget.  The returned :class:`SolveResult`
     behaves as a plain list of answer sets and additionally carries the
-    run's :class:`SolveStats`.
+    run's :class:`SolveStats`.  ``use_fast_path=False`` forces a
+    Gelfond–Lifschitz check on every candidate even when static analysis
+    proves it redundant (useful for differential testing).
     """
     ground = ground_program(program, budget=budget)
-    return AnswerSetSolver(ground, max_steps=max_steps, budget=budget).solve(
-        max_models=max_models
-    )
+    return AnswerSetSolver(
+        ground, max_steps=max_steps, budget=budget, use_fast_path=use_fast_path
+    ).solve(max_models=max_models)
 
 
 CostVector = Tuple[Tuple[int, int], ...]

@@ -8,6 +8,61 @@ policies).
 
 from __future__ import annotations
 
+from typing import Optional
+
+
+class Span:
+    """A source location: 1-based ``(line, col)`` .. ``(end_line, end_col)``.
+
+    Spans originate in the tokenizers and are threaded onto parsed nodes
+    (rules, atoms, comparisons) so that errors and lint diagnostics can
+    point at real source text.  ``end_line``/``end_col`` default to the
+    start position, giving a zero-width caret span.
+    """
+
+    __slots__ = ("line", "col", "end_line", "end_col")
+
+    def __init__(
+        self,
+        line: int,
+        col: int,
+        end_line: Optional[int] = None,
+        end_col: Optional[int] = None,
+    ):
+        self.line = line
+        self.col = col
+        self.end_line = end_line if end_line is not None else line
+        self.end_col = end_col if end_col is not None else col
+
+    def as_dict(self) -> dict:
+        return {
+            "line": self.line,
+            "col": self.col,
+            "end_line": self.end_line,
+            "end_col": self.end_col,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        return cls(
+            data["line"], data["col"], data.get("end_line"), data.get("end_col")
+        )
+
+    def __repr__(self) -> str:
+        return f"Span({self.line}:{self.col}..{self.end_line}:{self.end_col})"
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.col}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Span) and (
+            (self.line, self.col, self.end_line, self.end_col)
+            == (other.line, other.col, other.end_line, other.end_col)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.line, self.col, self.end_line, self.end_col))
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this package."""
@@ -71,11 +126,34 @@ class ASPSyntaxError(ASPError):
 
 
 class UnsafeRuleError(ASPError):
-    """Raised when a rule contains a variable not bound by a positive body literal."""
+    """Raised when a rule contains a variable not bound by a positive body literal.
+
+    ``span`` (when available) is the source location of the offending
+    rule, threaded from the parser; ``variables`` names the variables
+    that could not be bound.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        span: Optional[Span] = None,
+        variables: tuple = (),
+    ):
+        self.span = span
+        self.variables = tuple(variables)
+        if span is not None:
+            message = f"{message} (at line {span.line}, column {span.col})"
+        super().__init__(message)
 
 
 class GroundingError(ASPError):
     """Raised when grounding fails (e.g. arithmetic on non-integers)."""
+
+    def __init__(self, message: str, span: Optional[Span] = None):
+        self.span = span
+        if span is not None:
+            message = f"{message} (at line {span.line}, column {span.col})"
+        super().__init__(message)
 
 
 class SolverError(ASPError):

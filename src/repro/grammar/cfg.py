@@ -53,7 +53,15 @@ class Production:
 
 
 class CFG:
-    """A context-free grammar ``(nonterminals, terminals, productions, start)``."""
+    """A context-free grammar ``(nonterminals, terminals, productions, start)``.
+
+    ``strict`` (the default) preserves the historical construction-time
+    validation: nonterminals without productions raise
+    :class:`~repro.errors.GrammarError`.  With ``strict=False``
+    construction always succeeds and such defects are left to the static
+    analyzer (:func:`repro.analysis.lint_cfg`), which reports them as
+    diagnostics with stable codes instead of hard failures.
+    """
 
     def __init__(
         self,
@@ -61,6 +69,7 @@ class CFG:
         terminals: Iterable[Symbol],
         productions: Iterable[Production],
         start: Symbol,
+        strict: bool = True,
     ):
         self.nonterminals: FrozenSet[Symbol] = frozenset(nonterminals)
         self.terminals: FrozenSet[Symbol] = frozenset(terminals)
@@ -76,7 +85,8 @@ class CFG:
             self._add(prod)
         for nt in self.nonterminals:
             self._by_lhs.setdefault(nt, [])
-        self._validate()
+        if strict:
+            self._validate()
 
     def _add(self, prod: Production) -> None:
         if prod.lhs not in self.nonterminals:
@@ -104,6 +114,41 @@ class CFG:
 
     def is_terminal(self, symbol: Symbol) -> bool:
         return symbol in self.terminals
+
+    def reachable_set(self) -> Set[Symbol]:
+        """Symbols reachable from the start symbol (terminals included)."""
+        reachable: Set[Symbol] = {self.start}
+        frontier = [self.start]
+        while frontier:
+            symbol = frontier.pop()
+            for prod in self._by_lhs.get(symbol, ()):
+                for sym in prod.rhs:
+                    if sym not in reachable:
+                        reachable.add(sym)
+                        if sym in self.nonterminals:
+                            frontier.append(sym)
+        return reachable
+
+    def generating_set(self) -> Set[Symbol]:
+        """Nonterminals that derive at least one terminal string.
+
+        A nonterminal outside this set is *unproductive*: it has no
+        productions at all, or every production loops through another
+        unproductive nonterminal.
+        """
+        generating: Set[Symbol] = set()
+        changed = True
+        while changed:
+            changed = False
+            for prod in self.productions:
+                if prod.lhs in generating:
+                    continue
+                if all(
+                    sym in self.terminals or sym in generating for sym in prod.rhs
+                ):
+                    generating.add(prod.lhs)
+                    changed = True
+        return generating
 
     def nullable_set(self) -> Set[Symbol]:
         """Nonterminals that derive the empty string."""

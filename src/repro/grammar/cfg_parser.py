@@ -49,8 +49,12 @@ def _parse_rhs(text: str, line_no: int) -> List[Tuple[str, bool]]:
     return symbols
 
 
-def parse_cfg(text: str) -> CFG:
-    """Parse grammar source text into a :class:`CFG`."""
+def parse_cfg(text: str, strict: bool = True) -> CFG:
+    """Parse grammar source text into a :class:`CFG`.
+
+    ``strict=False`` defers structural defects (nonterminals without
+    productions) to the static analyzer instead of raising.
+    """
     raw_rules: List[Tuple[str, List[List[Tuple[str, bool]]]]] = []
     current_lhs = None
     for line_no, raw_line in enumerate(text.splitlines(), start=1):
@@ -100,4 +104,4 @@ def parse_cfg(text: str) -> CFG:
                 symbols.append(name)
             productions.append(Production(lhs, symbols))
     start = raw_rules[0][0]
-    return CFG(nonterminals, terminals, productions, start)
+    return CFG(nonterminals, terminals, productions, start, strict=strict)

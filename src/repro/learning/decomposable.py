@@ -27,6 +27,8 @@ import contextlib
 import time
 from typing import List, Optional, Sequence, Tuple
 
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.mode_lint import lint_task
 from repro.errors import LearningError, ResourceError, UnsatisfiableTaskError
 from repro.learning.ilasp import ILASPLearner, LearnedHypothesis
 from repro.learning.mode_bias import CandidateRule
@@ -83,6 +85,8 @@ class DecomposableLearner:
         self.max_violations = max_violations
         self.max_nodes = max_nodes
         self._constraints_only = task.constraints_only()
+        # static task diagnostics, populated by learn() before the search
+        self.diagnostics: List[Diagnostic] = []
 
     # -- building the decomposed model ------------------------------------
 
@@ -312,6 +316,13 @@ class DecomposableLearner:
         with _tele_span(
             "learn.decomposable", space=len(self.task.hypothesis_space)
         ) as sp:
+            self.diagnostics = lint_task(self.task)
+            if self.diagnostics:
+                sp.incr("learner.lint_findings", len(self.diagnostics))
+                sp.incr(
+                    "learner.lint_errors",
+                    sum(1 for d in self.diagnostics if d.is_error),
+                )
             result = self._learn()
             sp.incr("learner.checks", result.checks)
             sp.incr("learner.hypotheses_learned")

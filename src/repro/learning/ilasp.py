@@ -36,6 +36,8 @@ import contextlib
 import time
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.mode_lint import lint_task
 from repro.errors import LearningError, ResourceError, UnsatisfiableTaskError
 from repro.learning.mode_bias import CandidateRule
 from repro.runtime.budget import Budget, budget_scope
@@ -136,6 +138,8 @@ class ILASPLearner:
         self._constraints_only = task.constraints_only()
         # best-so-far for degraded returns: (violation weight, cost, hypothesis)
         self._best: Optional[Tuple[int, int, List[CandidateRule]]] = None
+        # static task diagnostics, populated by learn() before the search
+        self.diagnostics: List[Diagnostic] = []
 
     # -- oracle with memoization ------------------------------------------
 
@@ -214,6 +218,13 @@ class ILASPLearner:
         with _tele_span(
             "learn.ilasp", space=len(self.task.hypothesis_space)
         ) as sp:
+            self.diagnostics = lint_task(self.task)
+            if self.diagnostics:
+                sp.incr("learner.lint_findings", len(self.diagnostics))
+                sp.incr(
+                    "learner.lint_errors",
+                    sum(1 for d in self.diagnostics if d.is_error),
+                )
             try:
                 with scope:
                     space = self._prefiltered_space()

@@ -1,0 +1,111 @@
+"""Unit tests for the ASG linter (ASG001–ASG002) and lenient construction."""
+
+import pytest
+
+from repro.analysis.asg_lint import lint_asg
+from repro.asg.annotated import ASG, annotation_violations
+from repro.asg.asg_parser import parse_asg
+from repro.asp.parser import parse_program
+from repro.errors import GrammarError
+from repro.grammar.cfg import CFG, Production
+
+
+def codes(diagnostics):
+    return sorted(d.code for d in diagnostics)
+
+
+CLEAN = """
+policy -> "allow" subject {
+    ok :- is_alice@2.
+}
+policy -> "deny" subject
+subject -> "alice" { is_alice. }
+subject -> "bob" { is_bob. }
+"""
+
+
+class TestCleanGrammar:
+    def test_no_findings(self):
+        asg = parse_asg(CLEAN)
+        assert lint_asg(asg) == []
+
+
+class TestAnnotationRange:
+    def _bad_asg(self):
+        cfg = CFG({"s", "t"}, {"a"}, [Production("s", ["t"]), Production("t", ["a"])], "s")
+        program = parse_program("ok :- val@3.")  # rhs has length 1
+        return cfg, program
+
+    def test_strict_default_raises(self):
+        cfg, program = self._bad_asg()
+        with pytest.raises(GrammarError):
+            ASG(cfg, {0: program})
+
+    def test_lenient_reports_asg001(self):
+        cfg, program = self._bad_asg()
+        asg = ASG(cfg, {0: program}, strict=False)
+        found = [d for d in lint_asg(asg) if d.code == "ASG001"]
+        assert len(found) == 1
+        assert found[0].is_error
+        assert "1..1" in found[0].message
+
+    def test_annotation_violations_lists_all(self):
+        cfg, program = self._bad_asg()
+        assert len(annotation_violations(cfg.production(0), program)) == 1
+
+
+class TestAnnotationDefinedness:
+    def test_terminal_child_reference(self):
+        asg = parse_asg(
+            'policy -> "allow" subject { ok :- is_alice@1. }\n'
+            'subject -> "alice" { is_alice. }'
+        )
+        found = [d for d in lint_asg(asg) if d.code == "ASG002"]
+        assert len(found) == 1
+        assert "terminal" in found[0].message
+
+    def test_undefined_predicate_in_child(self):
+        asg = parse_asg(
+            'policy -> "allow" subject { ok :- ghost@2. }\n'
+            'subject -> "alice" { is_alice. }'
+        )
+        found = [d for d in lint_asg(asg) if d.code == "ASG002"]
+        assert len(found) == 1
+        assert "ghost" in found[0].message
+        assert "subject" in found[0].message
+
+    def test_production_source_labels_findings(self):
+        asg = parse_asg(
+            'policy -> "allow" subject { ok :- ghost@2. }\n'
+            'subject -> "alice" { is_alice. }'
+        )
+        found = [d for d in lint_asg(asg, source="demo.asg") if d.code == "ASG002"]
+        assert found[0].source.startswith("demo.asg: production 0")
+
+
+class TestEmbeddedLints:
+    def test_grammar_lints_included(self):
+        asg = parse_asg(CLEAN + '\norphan -> "x"', strict=False)
+        assert "GRM001" in codes(lint_asg(asg))
+
+    def test_rule_local_asp_lints_included(self):
+        asg = parse_asg(
+            'policy -> "go" { p(X) :- not q(X). }'
+        )
+        assert "ASP001" in codes(lint_asg(asg))
+
+    def test_unannotated_predicates_not_flagged_across_productions(self):
+        # definedness lints must NOT fire inside annotation programs:
+        # predicates may come from sibling productions or context programs
+        found = lint_asg(parse_asg(CLEAN))
+        assert "ASP003" not in codes(found)
+        assert "ASP004" not in codes(found)
+
+
+class TestParserStrictFlag:
+    def test_parse_asg_lenient_defers_defects(self):
+        text = 's -> "a" { ok :- x@5. }'
+        with pytest.raises(GrammarError):
+            parse_asg(text)
+        asg = parse_asg(text, strict=False)
+        assert "ASG001" in codes(lint_asg(asg))

@@ -1,0 +1,127 @@
+"""Unit tests for the ASP linter (ASP001–ASP007) and stratification."""
+
+from repro.analysis.asp_lint import lint_program, lint_rules, stratification
+from repro.asp.parser import parse_program
+
+
+def codes(diagnostics):
+    return sorted(d.code for d in diagnostics)
+
+
+def by_code(diagnostics, code):
+    return [d for d in diagnostics if d.code == code]
+
+
+class TestCleanPrograms:
+    def test_empty_program(self):
+        assert lint_program(parse_program("")) == []
+
+    def test_facts_and_safe_rules(self):
+        program = parse_program("q(1). q(2). p(X) :- q(X).")
+        assert lint_program(program, roots={"p"}) == []
+
+    def test_stratified_negation_is_clean(self):
+        program = parse_program("q(1). p(X) :- q(X), not r(X). r(1).")
+        assert lint_program(program, roots={"p"}) == []
+
+
+class TestUnsafe:
+    def test_unsafe_head_variable(self):
+        program = parse_program("q(1). p(X, Y) :- q(X).")
+        found = by_code(lint_program(program, roots={"p"}), "ASP001")
+        assert len(found) == 1
+        assert found[0].is_error
+        assert "Y" in found[0].message
+        assert found[0].span is not None
+        assert found[0].span.line == 1
+
+    def test_negation_only_variable_is_unsafe(self):
+        program = parse_program("q(1). p :- not r(X).")
+        assert "ASP001" in codes(lint_program(program, roots={"p"}))
+
+
+class TestStratification:
+    def test_even_loop_reported_per_edge(self):
+        program = parse_program("q(1). r(X) :- q(X), not s(X). s(X) :- q(X), not r(X).")
+        found = by_code(lint_program(program, roots={"r", "s"}), "ASP002")
+        assert len(found) == 2
+        assert all(d.severity == "warning" for d in found)
+        assert all(d.span is not None for d in found)
+
+    def test_verdict_object(self):
+        verdict = stratification(parse_program("p :- not q. q :- not p."))
+        assert not verdict.stratified
+        assert len(verdict.offending_edges) == 2
+
+    def test_stratified_and_tight(self):
+        verdict = stratification(parse_program("q(1). p(X) :- q(X)."))
+        assert verdict.stratified
+        assert verdict.tight
+
+    def test_positive_recursion_is_stratified_but_not_tight(self):
+        verdict = stratification(
+            parse_program("edge(1,2). path(X,Y) :- edge(X,Y). "
+                          "path(X,Z) :- path(X,Y), edge(Y,Z).")
+        )
+        assert verdict.stratified
+        assert not verdict.tight
+
+
+class TestDefinedness:
+    def test_undefined_predicate(self):
+        program = parse_program("q(1). p(X) :- q(X), mystery(X).")
+        found = by_code(lint_program(program, roots={"p"}), "ASP003")
+        assert len(found) == 1
+        assert "mystery/1" in found[0].message
+        assert found[0].span is not None
+
+    def test_unused_predicate_is_info(self):
+        program = parse_program("q(1). p(X) :- q(X).")
+        found = by_code(lint_program(program), "ASP004")
+        assert [d.severity for d in found] == ["info"]
+        assert "p/1" in found[0].message
+
+    def test_roots_suppress_unused(self):
+        program = parse_program("q(1). p(X) :- q(X).")
+        assert by_code(lint_program(program, roots={"p"}), "ASP004") == []
+
+
+class TestAritiesDuplicatesDead:
+    def test_arity_mismatch(self):
+        program = parse_program("p(1). p(1, 2). q :- p(3).")
+        found = by_code(lint_program(program, roots={"q"}), "ASP005")
+        assert len(found) == 1
+        assert "1, 2" in found[0].message
+
+    def test_duplicate_rule(self):
+        program = parse_program("q(1). p(X) :- q(X). p(X) :- q(X).")
+        found = by_code(lint_program(program, roots={"p"}), "ASP006")
+        assert len(found) == 1
+
+    def test_trivially_dead_rule(self):
+        program = parse_program("q(1). p(X) :- q(X), not q(X).")
+        found = by_code(lint_program(program, roots={"p"}), "ASP007")
+        assert len(found) == 1
+        assert "never fire" in found[0].message
+
+
+class TestLintRules:
+    def test_rule_local_only(self):
+        # undefined/unused predicates are NOT reported by lint_rules
+        program = parse_program("p(X) :- q(X), mystery(X).")
+        assert codes(lint_rules(program)) == []
+
+    def test_source_is_attached(self):
+        program = parse_program("p :- q, not q. q.")
+        found = lint_rules(program, source="unit 7")
+        assert found and all(d.source == "unit 7" for d in found)
+
+
+class TestChoiceAndConstraints:
+    def test_choice_rule_heads_count_as_definitions(self):
+        program = parse_program("1 { a; b } 1. :- a, b.")
+        assert by_code(lint_program(program, roots={"a", "b"}), "ASP003") == []
+
+    def test_constraint_contributes_no_dependency_edges(self):
+        verdict = stratification(parse_program("a. b. :- a, not b."))
+        assert verdict.stratified

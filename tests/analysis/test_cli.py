@@ -1,0 +1,98 @@
+"""Tests for the ``python -m repro.analysis`` CLI."""
+
+import json
+
+import pytest
+
+from repro.analysis.cli import lint_path, main
+from repro.analysis.diagnostics import diagnostics_from_json
+
+BAD_LP = """\
+r(X) :- not s(X), q(X).
+s(X) :- not r(X), q(X).
+q(1).
+bad(Y) :- not q(Y).
+uses(Z) :- nothing(Z).
+"""
+
+
+@pytest.fixture
+def bad_file(tmp_path):
+    path = tmp_path / "bad.lp"
+    path.write_text(BAD_LP)
+    return path
+
+
+class TestLintCommand:
+    def test_acceptance_criteria(self, bad_file, capsys):
+        """Unstratified + unsafe + undefined => >= 3 distinct codes, spans,
+        nonzero exit, and JSON that round-trips (the ISSUE's CLI check)."""
+        exit_code = main(["lint", str(bad_file)])
+        out = capsys.readouterr().out
+        assert exit_code == 1
+        for code in ("ASP001", "ASP002", "ASP003"):
+            assert code in out
+        # spans rendered as file:line:col
+        assert f"{bad_file}:4:1" in out  # the unsafe rule
+        assert f"{bad_file}:1:13" in out  # the 'not s(X)' literal
+
+        exit_code = main(["lint", str(bad_file), "--format", "json"])
+        json_out = capsys.readouterr().out
+        assert exit_code == 1
+        payload = json.loads(json_out)
+        codes = {d["code"] for d in payload["diagnostics"]}
+        assert {"ASP001", "ASP002", "ASP003"} <= codes
+        restored = diagnostics_from_json(json_out)
+        assert len(restored) == len(payload["diagnostics"])
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "good.lp"
+        path.write_text("q(1).\n")
+        assert main(["lint", str(path)]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_warnings_alone_exit_zero(self, tmp_path, capsys):
+        path = tmp_path / "warn.lp"
+        path.write_text("p :- not q. q :- not p.\n")
+        assert main(["lint", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "ASP002" in out
+
+    def test_syntax_error_becomes_diagnostic(self, tmp_path, capsys):
+        path = tmp_path / "broken.lp"
+        path.write_text("p(X :- q.\n")
+        assert main(["lint", str(path)]) == 1
+        assert "SYN001" in capsys.readouterr().out
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert main(["lint", "/no/such/file.lp"]) == 2
+
+    def test_directory_recursion(self, tmp_path, bad_file, capsys):
+        sub = tmp_path / "nested"
+        sub.mkdir()
+        (sub / "extra.lp").write_text("only(Y) :- not some(Y).\n")
+        (tmp_path / "ignored.txt").write_text("not a policy")
+        assert main(["lint", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "bad.lp" in out
+        assert "extra.lp" in out
+        assert "ignored.txt" not in out
+
+
+class TestDispatch:
+    def test_cfg_file(self, tmp_path):
+        path = tmp_path / "g.cfg"
+        path.write_text('s -> "a"\norphan -> "b"\n')
+        found = lint_path(path)
+        assert {d.code for d in found} == {"GRM001"}
+
+    def test_asg_file(self, tmp_path):
+        path = tmp_path / "g.asg"
+        path.write_text('s -> "a" { ok :- ghost@9. }\n')
+        codes = {d.code for d in lint_path(path)}
+        assert "ASG001" in codes
+
+    def test_grammar_syntax_error(self, tmp_path):
+        path = tmp_path / "g.cfg"
+        path.write_text("this is not a grammar\n")
+        assert [d.code for d in lint_path(path)] == ["SYN001"]

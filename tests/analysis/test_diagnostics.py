@@ -1,0 +1,116 @@
+"""Unit tests for the diagnostics core: records, collector, renderers."""
+
+import json
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    ERROR,
+    INFO,
+    WARNING,
+    Diagnostic,
+    DiagnosticCollector,
+    diagnostics_from_json,
+)
+from repro.errors import Span
+
+
+class TestSpan:
+    def test_end_defaults_to_start(self):
+        span = Span(3, 7)
+        assert (span.end_line, span.end_col) == (3, 7)
+
+    def test_round_trip(self):
+        span = Span(1, 2, 4, 9)
+        assert Span.from_dict(span.as_dict()) == span
+
+    def test_equality_and_hash(self):
+        assert Span(1, 2) == Span(1, 2)
+        assert Span(1, 2) != Span(1, 3)
+        assert hash(Span(1, 2, 1, 5)) == hash(Span(1, 2, 1, 5))
+
+
+class TestDiagnostic:
+    def test_rejects_unknown_severity(self):
+        with pytest.raises(ValueError):
+            Diagnostic("ASP001", "fatal", "boom")
+
+    def test_is_error(self):
+        assert Diagnostic("X001", ERROR, "m").is_error
+        assert not Diagnostic("X001", WARNING, "m").is_error
+        assert not Diagnostic("X001", INFO, "m").is_error
+
+    def test_format_includes_code_span_and_hint(self):
+        diag = Diagnostic(
+            "ASP001",
+            ERROR,
+            "unsafe rule",
+            span=Span(4, 2),
+            source="policy.lp",
+            hint="bind the variable",
+        )
+        text = diag.format()
+        assert "policy.lp:4:2" in text
+        assert "error[ASP001]" in text
+        assert "unsafe rule" in text
+        assert "bind the variable" in text
+
+    def test_format_without_span_or_source(self):
+        text = Diagnostic("GRM001", WARNING, "unreachable").format()
+        assert text.startswith("<program>: warning[GRM001]")
+
+    def test_dict_round_trip(self):
+        diag = Diagnostic(
+            "ASP002", WARNING, "unstratified", span=Span(2, 5), source="x.lp"
+        )
+        assert Diagnostic.from_dict(diag.as_dict()) == diag
+
+    def test_with_source(self):
+        diag = Diagnostic("ASP003", WARNING, "undefined").with_source("a.lp")
+        assert diag.source == "a.lp"
+
+
+class TestCollector:
+    def _collector(self):
+        collector = DiagnosticCollector()
+        collector.add(Diagnostic("B001", WARNING, "warn", span=Span(9, 1)))
+        collector.add(Diagnostic("A001", ERROR, "err", span=Span(1, 1)))
+        collector.add(Diagnostic("C001", INFO, "note"))
+        return collector
+
+    def test_counts_and_severity_buckets(self):
+        collector = self._collector()
+        assert len(collector) == 3
+        assert collector.counts() == {"error": 1, "warning": 1, "info": 1}
+        assert [d.code for d in collector.errors] == ["A001"]
+        assert [d.code for d in collector.warnings] == ["B001"]
+        assert [d.code for d in collector.infos] == ["C001"]
+        assert collector.has_errors()
+
+    def test_empty_collector_is_falsy(self):
+        collector = DiagnosticCollector()
+        assert not collector
+        assert not collector.has_errors()
+
+    def test_render_text_has_summary_line(self):
+        text = self._collector().render_text()
+        assert "1 error(s), 1 warning(s), 1 info(s)" in text
+
+    def test_render_json_round_trips(self):
+        collector = self._collector()
+        payload = json.loads(collector.render_json())
+        assert payload["counts"] == {"error": 1, "warning": 1, "info": 1}
+        restored = diagnostics_from_json(collector.render_json())
+        assert sorted(restored, key=lambda d: d.code) == sorted(
+            collector, key=lambda d: d.code
+        )
+
+    def test_from_json_accepts_bare_list(self):
+        diags = [Diagnostic("A001", ERROR, "err")]
+        text = json.dumps([d.as_dict() for d in diags])
+        assert list(diagnostics_from_json(text)) == diags
+
+    def test_sorted_orders_by_source_then_span(self):
+        ordered = self._collector().sorted()
+        spans = [d.span.line if d.span else 0 for d in ordered]
+        assert spans == sorted(spans)

@@ -1,0 +1,144 @@
+"""Unit tests for the learning-task linter (MB001–MB002)."""
+
+import pytest
+
+from repro.analysis.mode_lint import lint_task
+from repro.asg.asg_parser import parse_asg
+from repro.asp.atoms import Atom
+from repro.asp.parser import parse_program, parse_rule
+from repro.learning.mode_bias import CandidateRule
+from repro.learning.tasks import (
+    ASGLearningTask,
+    ContextExample,
+    LASTask,
+    PartialInterpretation,
+)
+
+
+def codes(diagnostics):
+    return sorted(d.code for d in diagnostics)
+
+
+def las_task(hypothesis_rules, background="", positive=(), negative=()):
+    return LASTask(
+        parse_program(background),
+        [CandidateRule(parse_rule(text)) for text in hypothesis_rules],
+        list(positive),
+        list(negative),
+    )
+
+
+class TestLASTask:
+    def test_clean_task(self):
+        task = las_task(
+            ["permit :- role(dba)."],
+            background="role(dba).",
+            positive=[PartialInterpretation(inclusions=[Atom("permit")])],
+        )
+        assert lint_task(task) == []
+
+    def test_mb001_heads_never_observed(self):
+        task = las_task(
+            ["permit :- role(dba)."],
+            background="role(dba).",
+            positive=[PartialInterpretation(inclusions=[Atom("unrelated")])],
+        )
+        found = [d for d in lint_task(task) if d.code == "MB001"]
+        assert len(found) == 1
+        assert "permit" in found[0].message
+
+    def test_mb002_underivable_body(self):
+        task = las_task(
+            ["permit :- phantom."],
+            background="role(dba).",
+            positive=[PartialInterpretation(inclusions=[Atom("permit")])],
+        )
+        found = [d for d in lint_task(task) if d.code == "MB002"]
+        assert len(found) == 1
+        assert "phantom" in found[0].message
+
+    def test_context_heads_count_as_derivable(self):
+        task = las_task(
+            ["permit :- emergency."],
+            background="role(dba).",
+            positive=[
+                PartialInterpretation(
+                    inclusions=[Atom("permit")],
+                    context=parse_program("emergency."),
+                )
+            ],
+        )
+        assert [d for d in lint_task(task) if d.code == "MB002"] == []
+
+
+class TestASGTask:
+    def _asg(self):
+        return parse_asg(
+            'policy -> "allow" subject { allowed :- is_alice@2. }\n'
+            'subject -> "alice" { is_alice. }\n'
+            'subject -> "bob" { is_bob. }'
+        )
+
+    def test_clean_task(self):
+        task = ASGLearningTask(
+            self._asg(),
+            [CandidateRule(parse_rule(":- is_bob@2."), prod_id=0)],
+            [ContextExample(("allow", "alice"))],
+            [ContextExample(("allow", "bob"))],
+        )
+        assert lint_task(task) == []
+
+    def test_mb001_bad_production_id(self):
+        task = ASGLearningTask(
+            self._asg(),
+            [CandidateRule(parse_rule(":- is_bob@2."), prod_id=99)],
+            [],
+            [],
+        )
+        found = [d for d in lint_task(task) if d.code == "MB001"]
+        assert len(found) == 1
+        assert found[0].is_error
+        assert "99" in found[0].message
+
+    def test_mb002_underivable_body(self):
+        task = ASGLearningTask(
+            self._asg(),
+            [CandidateRule(parse_rule(":- never_defined."), prod_id=0)],
+            [],
+            [],
+        )
+        found = [d for d in lint_task(task) if d.code == "MB002"]
+        assert len(found) == 1
+        assert "never_defined" in found[0].message
+
+
+class TestDispatch:
+    def test_non_task_raises_type_error(self):
+        with pytest.raises(TypeError):
+            lint_task(object())
+
+
+class TestLearnerIntegration:
+    def test_ilasp_learner_populates_diagnostics(self):
+        from repro.learning.ilasp import ILASPLearner
+
+        task = las_task(
+            ["permit :- phantom.", "permit :- role(dba)."],
+            background="role(dba).",
+            positive=[PartialInterpretation(inclusions=[Atom("permit")])],
+        )
+        learner = ILASPLearner(task)
+        learner.learn()
+        assert "MB002" in codes(learner.diagnostics)
+
+    def test_decomposable_learner_populates_diagnostics(self):
+        from repro.learning.decomposable import DecomposableLearner
+
+        task = las_task(
+            ["permit :- phantom.", "permit :- role(dba)."],
+            background="role(dba).",
+            positive=[PartialInterpretation(inclusions=[Atom("permit")])],
+        )
+        learner = DecomposableLearner(task)
+        learner.learn()
+        assert "MB002" in codes(learner.diagnostics)

@@ -1,0 +1,124 @@
+"""The stratification/tightness-driven stability-check fast path.
+
+The ISSUE's acceptance criteria live here: on a stratified (and tight)
+program the solver must return identical answer sets with
+``stability_checks == 0`` and ``stability_skips > 0``; on an
+unstratified program behaviour must be unchanged (differential test).
+"""
+
+
+from repro.analysis.graphs import check_stratification, has_cycle, tarjan_scc
+from repro.asp.grounder import ground_program
+from repro.asp.parser import parse_program
+from repro.asp.solver import AnswerSetSolver, solve
+
+
+def models_of(result):
+    return sorted(sorted(str(a) for a in m) for m in result)
+
+
+def differential(text, **kwargs):
+    """Solve with and without the fast path; models must be identical."""
+    program = parse_program(text)
+    fast = solve(program, **kwargs)
+    slow = solve(program, use_fast_path=False, **kwargs)
+    assert models_of(fast) == models_of(slow)
+    assert slow.stats.stability_skips == 0
+    return fast
+
+
+class TestStratifiedPrograms:
+    def test_definite_program_skips_all_checks(self):
+        result = differential("q(1). q(2). p(X) :- q(X).")
+        assert result.stats.stability_checks == 0
+        assert result.stats.stability_skips > 0
+
+    def test_stratified_negation_skips(self):
+        result = differential("q(1). q(2). r(1). p(X) :- q(X), not r(X).")
+        assert result.stats.stability_checks == 0
+        assert result.stats.stability_skips > 0
+        assert models_of(result) == [["p(2)", "q(1)", "q(2)", "r(1)"]]
+
+    def test_constraints_do_not_disable_fast_path(self):
+        result = differential("q(1). q(2). p(X) :- q(X). :- p(2), q(2).")
+        assert result.stats.stability_checks == 0
+        assert models_of(result) == []  # constraint kills the only candidate
+
+
+class TestUnstratifiedPrograms:
+    def test_even_loop_unchanged(self):
+        result = differential("q(1). r(X) :- not s(X), q(X). s(X) :- not r(X), q(X).")
+        assert len(result) == 2
+        assert result.stats.stability_skips == 0
+        assert result.stats.stability_checks > 0
+
+    def test_odd_loop_unchanged(self):
+        result = differential("p :- not p.")
+        assert models_of(result) == []
+        assert result.stats.stability_skips == 0
+
+
+class TestTightnessGuard:
+    def test_surviving_positive_loop_disables_fast_path(self):
+        # 'a' is possible at grounding time (not t may hold) but false at
+        # runtime, so the p/q loop survives grounding; {t, p, q} is a
+        # supported model that is NOT stable.  Skipping here would be wrong.
+        result = differential("t. a :- not t. q :- a. p :- q. q :- p.")
+        assert models_of(result) == [["t"]]
+        assert result.stats.stability_skips == 0
+        assert result.stats.stability_checks > 0
+
+    def test_choice_rules_disable_fast_path(self):
+        # the choice encoding introduces negative aux cycles
+        result = differential("1 { a; b } 1.")
+        assert models_of(result) == [["a"], ["b"]]
+        assert result.stats.stability_skips == 0
+
+    def test_uses_fast_path_is_cached(self):
+        ground = ground_program(parse_program("q(1). p(X) :- q(X)."))
+        solver = AnswerSetSolver(ground)
+        assert solver.uses_fast_path()
+        assert solver._fast_path is True  # decided once
+        solver.solve()
+        assert solver.stats.stability_checks == 0
+
+    def test_opt_out_flag(self):
+        ground = ground_program(parse_program("q(1)."))
+        solver = AnswerSetSolver(ground, use_fast_path=False)
+        assert not solver.uses_fast_path()
+        solver.solve()
+        assert solver.stats.stability_checks > 0
+        assert solver.stats.stability_skips == 0
+
+
+class TestStatsPlumbing:
+    def test_stability_skips_in_as_dict(self):
+        result = solve(parse_program("q(1)."))
+        assert "stability_skips" in result.stats.as_dict()
+
+
+class TestGraphAlgorithms:
+    def test_tarjan_components(self):
+        sccs = tarjan_scc([1, 2, 3, 4], {1: [2], 2: [1], 3: [4]})
+        as_sets = sorted(map(frozenset, sccs), key=sorted)
+        assert as_sets == [{1, 2}, {3}, {4}]
+
+    def test_tarjan_deep_chain_no_recursion_error(self):
+        n = 50_000
+        successors = {i: [i + 1] for i in range(n)}
+        assert len(tarjan_scc(range(n + 1), successors)) == n + 1
+
+    def test_has_cycle_self_loop(self):
+        assert has_cycle([1], {1: [1]})
+        assert not has_cycle([1, 2], {1: [2]})
+
+    def test_check_stratification(self):
+        verdict = check_stratification([1, 2], [(1, 2)], [(2, 1)])
+        assert not verdict.stratified
+        assert verdict.offending_edges == [(2, 1)]
+        assert verdict.tight
+
+    def test_tightness_detected(self):
+        verdict = check_stratification([1, 2], [(1, 2), (2, 1)], [])
+        assert verdict.stratified
+        assert not verdict.tight

@@ -1,0 +1,150 @@
+"""Source spans on parsed rules/atoms, and the lint <-> grounder safety
+differential: for every safety edge case, ``lint_program`` must report
+ASP001 exactly when grounding raises :class:`UnsafeRuleError`, and both
+must name the same location.
+"""
+
+import pytest
+
+from repro.analysis.asp_lint import lint_program
+from repro.asp.grounder import binding_schedule, ground_program
+from repro.asp.parser import parse_program, parse_rule
+from repro.errors import Span, UnsafeRuleError
+
+
+class TestParserSpans:
+    def test_rule_span_covers_statement(self):
+        program = parse_program("q(1).\np(X) :- q(X).\n")
+        rule = program.rules[1]
+        assert rule.span is not None
+        assert rule.span.line == 2
+        assert rule.span.col == 1
+
+    def test_atom_span_points_at_predicate(self):
+        program = parse_program("p(X) :- longer_name(X).")
+        rule = program.rules[0]
+        assert rule.head.span.col == 1
+        body_atom = rule.body[0].atom
+        assert body_atom.span.line == 1
+        assert body_atom.span.col == 9
+        assert body_atom.span.end_col == 9 + len("longer_name")
+
+    def test_span_survives_substitution(self):
+        rule = parse_rule("p(X) :- q(X).")
+        ground = rule.substitute({"X": list(parse_program("q(1).").rules)[0].head.args[0]})
+        assert ground.span == rule.span
+        assert ground.head.span == rule.head.span
+
+    def test_span_not_part_of_equality(self):
+        a = parse_program("p :- q.").rules[0]
+        b = parse_program("\n\np :- q.").rules[0]
+        assert a.span != b.span
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_interval_fact_atoms_inherit_span(self):
+        program = parse_program("num(1..3).")
+        assert len(program.rules) == 3
+        assert {r.head.span.line for r in program.rules} == {1}
+
+
+class TestSpanType:
+    def test_defaults(self):
+        span = Span(5, 3)
+        assert (span.end_line, span.end_col) == (5, 3)
+
+    def test_round_trip(self):
+        span = Span(1, 2, 3, 4)
+        assert Span.from_dict(span.as_dict()) == span
+
+
+def lint_unsafe(text):
+    return [d for d in lint_program(parse_program(text)) if d.code == "ASP001"]
+
+
+def grounder_raises(text):
+    try:
+        ground_program(parse_program(text))
+        return None
+    except UnsafeRuleError as error:
+        return error
+
+
+# One case per grounder safety edge: (source text, is_safe)
+SAFETY_CASES = [
+    # plain positive binding
+    ("q(1). p(X) :- q(X).", True),
+    # head variable bound nowhere
+    ("q(1). p(X, Y) :- q(X).", False),
+    # negation-only variable
+    ("q(1). p :- not q(X).", False),
+    # comparison-builtin can compare but not bind
+    ("q(1). p(X) :- q(X), X < 2.", True),
+    ("q(1). p(Y) :- q(X), Y < X.", False),
+    # '=' assignment binds left-hand side from a bound right-hand side
+    ("q(1). p(Y) :- q(X), Y = X + 1.", True),
+    # ...but not from an unbound one (arithmetic-only binding chain)
+    ("q(1). p(Y) :- Y = Z + 1, q(X).", False),
+    # chained assignments bind transitively regardless of body order
+    ("q(1). p(Z) :- Z = Y + 1, Y = X + 1, q(X).", True),
+    # interval facts are ground and safe
+    ("num(1..3). p(X) :- num(X).", True),
+    # variable only in a weak-constraint body must still be bound
+    ("q(1). :~ q(X). [1@1]", True),
+    (":~ not q(X). [1@1]", False),
+    # choice rule: element variables must be bound by the body
+    ("q(1). 1 { pick(X); skip(X) } 1 :- q(X).", True),
+    ("1 { pick(X) } 1.", False),
+]
+
+
+class TestLintGrounderAgreement:
+    @pytest.mark.parametrize("text,is_safe", SAFETY_CASES)
+    def test_one_to_one(self, text, is_safe):
+        """ASP001 fires exactly when the grounder raises UnsafeRuleError."""
+        findings = lint_unsafe(text)
+        error = grounder_raises(text)
+        if is_safe:
+            assert findings == []
+            assert error is None
+        else:
+            assert len(findings) == 1
+            assert error is not None
+
+    @pytest.mark.parametrize(
+        "text,is_safe", [case for case in SAFETY_CASES if not case[1]]
+    )
+    def test_same_location_and_variables(self, text, is_safe):
+        finding = lint_unsafe(text)[0]
+        error = grounder_raises(text)
+        assert error.span == finding.span
+        for variable in error.variables:
+            assert variable in finding.message
+
+    def test_error_carries_span_and_variables(self):
+        error = grounder_raises("q(1).\np(Col) :- not q(Col).")
+        assert error.span.line == 2
+        assert error.variables == ("Col",)
+        assert "line 2" in str(error)
+
+
+class TestBindingSchedule:
+    def test_safe_rule_has_empty_unbound(self):
+        rule = parse_rule("p(X) :- q(X).")
+        ordered, unbound = binding_schedule(rule)
+        assert unbound == set()
+        assert len(ordered) == 1
+
+    def test_unsafe_rule_reports_variables(self):
+        rule = parse_rule("p(X, Y) :- q(X), not r(Z).")
+        __, unbound = binding_schedule(rule)
+        assert unbound == {"Y", "Z"}
+
+    def test_schedule_orders_binders_first(self):
+        rule = parse_rule("p(Y) :- Y = X + 1, q(X).")
+        ordered, unbound = binding_schedule(rule)
+        assert unbound == set()
+        # the positive literal must be scheduled before the assignment
+        from repro.asp.atoms import Literal
+
+        assert isinstance(ordered[0], Literal)
