@@ -16,6 +16,11 @@ ICDCS 2019), including its substrates:
   conflicts, counterfactual explanations (Sections IV.C, V.A, V.B);
 * :mod:`repro.agenp` - the full Figure 2 architecture, plus the
   multi-party coalition fabric;
+* :mod:`repro.engine` - the high-throughput serving engine
+  (fingerprint-keyed caches, batched PDP decisions);
+* :mod:`repro.analysis` - static analysis (linting) for policies,
+  grammars, and learning tasks;
+* :mod:`repro.telemetry` - structured tracing and profiling;
 * :mod:`repro.nl` - controlled-English policy intents to grammars
   (Section III.B);
 * :mod:`repro.baselines` - shallow-ML comparators (Section IV.A);
@@ -23,16 +28,75 @@ ICDCS 2019), including its substrates:
 * :mod:`repro.datasets` - synthetic dataset generators with pathology
   injection for the Figure 3 case study.
 
-Quickstart::
+The blessed top-level API re-exports the handful of entry points that
+cover the common serving loop::
 
-    from repro.asg import parse_asg, accepts
-    from repro.learning import ASGLearningTask, ContextExample, constraint_space, learn
+    import repro
 
-See ``examples/quickstart.py`` for the full loop.
+    models = repro.solve_text("a :- not b. b :- not a.")
+    grammar = repro.parse_asg(asg_text)
+    engine = repro.PolicyEngine(repository, interpreter)
+    with repro.tracer_scope() as tracer:
+        records = engine.decide_many(requests)
+
+Everything else stays importable from its subsystem module.  A few
+older top-level spellings remain importable but emit
+:class:`DeprecationWarning` (see ``_DEPRECATED`` below); new code
+should use the replacements named in the warning.
 """
+
+import warnings as _warnings
 
 __version__ = "0.1.0"
 
 from repro.errors import ReproError
+from repro.analysis import lint_paths
+from repro.asg import accepts, parse_asg
+from repro.asp import is_satisfiable_text, solve_program, solve_text
+from repro.engine import PolicyEngine
+from repro.runtime.budget import Budget, budget_scope
+from repro.telemetry import tracer_scope
 
-__all__ = ["ReproError", "__version__"]
+__all__ = [
+    "PolicyEngine",
+    "solve_text",
+    "solve_program",
+    "is_satisfiable_text",
+    "parse_asg",
+    "accepts",
+    "lint_paths",
+    "Budget",
+    "budget_scope",
+    "tracer_scope",
+    "ReproError",
+    "__version__",
+]
+
+# Deprecated top-level spellings: name -> (provider, attribute, replacement).
+# They keep working (served lazily via module __getattr__) but warn; the
+# test suite turns DeprecationWarning into an error, so nothing inside the
+# codebase may use them.
+_DEPRECATED = {
+    "lint_path": ("repro.analysis", "lint_path", "repro.lint_paths"),
+    "solve": ("repro.asp.solver", "solve", "repro.solve_program or repro.PolicyEngine.solve"),
+    "Engine": ("repro.engine", "PolicyEngine", "repro.PolicyEngine"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute, replacement = _DEPRECATED[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    _warnings.warn(
+        f"repro.{name} is deprecated; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attribute)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_DEPRECATED))

@@ -43,7 +43,32 @@ from repro.runtime.breaker import CircuitBreaker
 from repro.runtime.budget import Budget, budget_scope
 from repro.telemetry import span as _tele_span
 
-__all__ = ["PolicyDecisionPoint"]
+__all__ = ["PolicyDecisionPoint", "evaluate_compiled"]
+
+
+def evaluate_compiled(
+    compiled: Sequence[Tuple[StoredPolicy, Policy]],
+    request: Request,
+    strategy: ResolutionStrategy = deny_overrides,
+    default_decision: Decision = Decision.DENY,
+) -> Tuple[Decision, str]:
+    """Resolve one request against an already-compiled policy set.
+
+    Returns ``(decision, winning policy text)`` — the pure, stateless
+    core of :meth:`PolicyDecisionPoint.decide`, shared with the serving
+    engine's batch path (:meth:`repro.engine.PolicyEngine.decide_many`),
+    including its process-pool workers (everything here pickles).
+    """
+    hits = []
+    for stored, policy in compiled:
+        for rule, decision in applicable_rules(policy, request):
+            hits.append((stored, policy, rule, decision))
+    if not hits:
+        return default_decision, ""
+    decision = strategy([(p, r, d) for __, p, r, d in hits])
+    winning = [stored.text for stored, __, __r, d in hits if d == decision]
+    policy_text = winning[0] if winning else hits[0][0].text
+    return decision, policy_text
 
 
 class PolicyDecisionPoint:
@@ -68,15 +93,34 @@ class PolicyDecisionPoint:
         self.breaker = breaker if breaker is not None else CircuitBreaker()
         self._compiled: List[Tuple[StoredPolicy, Policy]] = []
         self._compiled_for: Optional[Tuple[StoredPolicy, ...]] = None
+        self._compiled_generation: Optional[int] = None
         # last compiled set that served a decision successfully
         self._last_good: Optional[List[Tuple[StoredPolicy, Policy]]] = None
 
     def _compile(self) -> List[Tuple[StoredPolicy, Policy]]:
+        """The compiled policy set, recompiled only when the repository moved.
+
+        Staleness is checked against the repository's ``generation``
+        counter when it has one (O(1), the serving hot path); repositories
+        without a counter fall back to content comparison.
+        """
+        generation = getattr(self.repository, "generation", None)
+        if generation is not None:
+            if generation != self._compiled_generation:
+                current = tuple(self.repository.all())
+                self._compiled = [(p, self.interpreter(p.tokens)) for p in current]
+                self._compiled_for = current
+                self._compiled_generation = generation
+            return self._compiled
         current = tuple(self.repository.all())
         if self._compiled_for != current:
             self._compiled = [(p, self.interpreter(p.tokens)) for p in current]
             self._compiled_for = current
         return self._compiled
+
+    def compiled(self) -> List[Tuple[StoredPolicy, Policy]]:
+        """The up-to-date compiled policy set (public, for the engine)."""
+        return list(self._compile())
 
     def _scope(self):
         if self.budget_factory is not None:

@@ -55,21 +55,39 @@ class StoredPolicy:
 
 
 class PolicyRepository:
-    """The active policy set, replaceable wholesale on regeneration."""
+    """The active policy set, replaceable wholesale on regeneration.
+
+    Every mutation bumps ``generation``, a monotonic counter the PDP and
+    the serving engine (:mod:`repro.engine`) use for O(1) staleness
+    checks and cache invalidation: a PAdaP policy update lands here via
+    ``replace``/``add``/``remove``, so dependent compiled-policy and
+    decision caches are evicted without content comparison.
+    """
 
     def __init__(self) -> None:
         self._policies: List[StoredPolicy] = []
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Monotonic mutation counter (bumped by every write)."""
+        return self._generation
 
     def replace(self, policies: Iterable[StoredPolicy]) -> None:
         """Install a freshly generated policy set (dropping the old one)."""
         self._policies = list(policies)
+        self._generation += 1
 
     def add(self, policy: StoredPolicy) -> None:
         if policy not in self._policies:
             self._policies.append(policy)
+            self._generation += 1
 
     def remove(self, policy: StoredPolicy) -> None:
+        before = len(self._policies)
         self._policies = [p for p in self._policies if p != policy]
+        if len(self._policies) != before:
+            self._generation += 1
 
     def all(self) -> List[StoredPolicy]:
         return list(self._policies)
@@ -85,13 +103,24 @@ class PolicyRepository:
 
 
 class RepresentationsRepository:
-    """Versioned storage of learned GPMs."""
+    """Versioned storage of learned GPMs.
+
+    ``generation`` counts stores — the PAdaP bumps it on every adapted
+    model, so serving caches keyed on it are evicted when the GPM moves.
+    """
 
     def __init__(self) -> None:
         self._versions: List[GenerativePolicyModel] = []
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Monotonic mutation counter (bumped by every store)."""
+        return self._generation
 
     def store(self, model: GenerativePolicyModel) -> None:
         self._versions.append(model)
+        self._generation += 1
 
     def latest(self) -> GenerativePolicyModel:
         if not self._versions:
@@ -109,16 +138,29 @@ class RepresentationsRepository:
 
 
 class ContextRepository:
-    """Named contexts plus the AMS's current operating context."""
+    """Named contexts plus the AMS's current operating context.
+
+    ``generation`` is bumped by every ``store`` and every *effective*
+    ``set_current`` — any context change may alter which policies are
+    valid, so serving caches keyed on it (see :mod:`repro.engine`) are
+    evicted.
+    """
 
     def __init__(self) -> None:
         self._contexts: Dict[str, Context] = {}
         self._current: Optional[str] = None
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Monotonic mutation counter (bumped by every write)."""
+        return self._generation
 
     def store(self, context: Context) -> None:
         if not context.name:
             raise AgenpError("contexts stored in the repository must be named")
         self._contexts[context.name] = context
+        self._generation += 1
 
     def get(self, name: str) -> Context:
         try:
@@ -129,7 +171,9 @@ class ContextRepository:
     def set_current(self, name: str) -> None:
         if name not in self._contexts:
             raise AgenpError(f"no context named {name!r}")
-        self._current = name
+        if self._current != name:
+            self._current = name
+            self._generation += 1
 
     def current(self) -> Context:
         if self._current is None:

@@ -44,7 +44,7 @@ from repro.analysis.asp_lint import (
 from repro.analysis.grammar_lint import lint_cfg
 from repro.analysis.asg_lint import lint_asg
 from repro.analysis.mode_lint import lint_task
-from repro.analysis.cli import main
+from repro.analysis.cli import lint_path, lint_paths, main
 
 __all__ = [
     "ERROR",
@@ -64,5 +64,7 @@ __all__ = [
     "lint_cfg",
     "lint_asg",
     "lint_task",
+    "lint_path",
+    "lint_paths",
     "main",
 ]

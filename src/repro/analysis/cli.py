@@ -18,12 +18,12 @@ from __future__ import annotations
 
 import argparse
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from repro.errors import ASPSyntaxError, GrammarError, GrammarSyntaxError, Span
 from repro.analysis.diagnostics import ERROR, Diagnostic, DiagnosticCollector
 
-__all__ = ["main", "lint_path", "LINTABLE_SUFFIXES"]
+__all__ = ["main", "lint_path", "lint_paths", "LINTABLE_SUFFIXES"]
 
 ASP_SUFFIXES = (".lp", ".asp")
 CFG_SUFFIXES = (".cfg", ".grammar")
@@ -103,6 +103,34 @@ def lint_path(path: Path, roots: Sequence[str] = ()) -> List[Diagnostic]:
     if path.suffix in CFG_SUFFIXES:
         return _lint_cfg_file(text, source)
     return _lint_asp_file(text, source, roots=roots)
+
+
+def lint_paths(
+    paths: Iterable, roots: Sequence[str] = ()
+) -> List[Diagnostic]:
+    """Lint several files/directories; the programmatic façade entry.
+
+    Accepts paths as strings or :class:`~pathlib.Path` objects and
+    returns the concatenated diagnostics in input order (directories
+    are walked recursively, as with ``python -m repro.analysis lint``).
+    Nonexistent paths produce a ``SYN001`` error diagnostic instead of
+    raising, matching the CLI's behaviour.
+    """
+    out: List[Diagnostic] = []
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            out.append(
+                Diagnostic(
+                    "SYN001",
+                    ERROR,
+                    "no such file or directory",
+                    source=str(path),
+                )
+            )
+            continue
+        out.extend(lint_path(path, roots=roots))
+    return out
 
 
 def _build_parser() -> argparse.ArgumentParser:

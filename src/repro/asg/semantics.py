@@ -79,9 +79,15 @@ def tree_answer_sets(
     tree: ParseTree,
     max_models: Optional[int] = None,
     budget: Optional[Budget] = None,
+    use_fast_path: bool = True,
 ) -> List[AnswerSet]:
     """Answer sets of ``G[PT]`` for one parse tree."""
-    return solve(tree_program(asg, tree), max_models=max_models, budget=budget)
+    return solve(
+        tree_program(asg, tree),
+        max_models=max_models,
+        budget=budget,
+        use_fast_path=use_fast_path,
+    )
 
 
 def accepts(
@@ -89,6 +95,7 @@ def accepts(
     tokens: SymbolString,
     max_trees: int = 256,
     budget: Optional[Budget] = None,
+    use_fast_path: bool = True,
 ) -> bool:
     """Membership: is ``tokens`` in ``L(G)``?
 
@@ -99,7 +106,13 @@ def accepts(
     covers the whole check.
     """
     return (
-        accepting_witness(asg, tokens, max_trees=max_trees, budget=budget)
+        accepting_witness(
+            asg,
+            tokens,
+            max_trees=max_trees,
+            budget=budget,
+            use_fast_path=use_fast_path,
+        )
         is not None
     )
 
@@ -109,6 +122,7 @@ def accepting_witness(
     tokens: SymbolString,
     max_trees: int = 256,
     budget: Optional[Budget] = None,
+    use_fast_path: bool = True,
 ) -> Optional[Tuple[ParseTree, AnswerSet]]:
     """Return a witness ``(parse tree, answer set)`` for membership, or None.
 
@@ -124,7 +138,9 @@ def accepting_witness(
             asg.cfg, tuple(tokens), max_trees=max_trees, budget=budget
         ):
             trees_tried += 1
-            models = tree_answer_sets(asg, tree, max_models=1, budget=budget)
+            models = tree_answer_sets(
+                asg, tree, max_models=1, budget=budget, use_fast_path=use_fast_path
+            )
             if models:
                 sp.incr("asg.trees_tried", trees_tried)
                 sp.incr("asg.accepted")

@@ -8,48 +8,85 @@ higher layers::
     >>> sorted(sorted(str(x) for x in m) for m in models)
     [['a'], ['b']]
 
-All entry points take an optional :class:`~repro.runtime.budget.Budget`
-that bounds grounding + solving (they also honour the ambient budget
-installed by :func:`~repro.runtime.budget.budget_scope`), raising
+All entry points return a :class:`~repro.asp.solver.SolveResult` — a
+``list`` of answer sets that also carries the run's
+:class:`~repro.asp.solver.SolveStats` (``result.stats``), so existing
+list-consuming callers keep working while telemetry-aware ones read the
+counters.  They accept the full solver knob set (``max_models``,
+``max_steps``, ``use_fast_path``) and an optional
+:class:`~repro.runtime.budget.Budget` that bounds grounding + solving
+(the ambient budget installed by
+:func:`~repro.runtime.budget.budget_scope` is honoured too), raising
 :class:`~repro.errors.BudgetExceededError` /
 :class:`~repro.errors.SolveTimeoutError` when exhausted.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 from repro.asp.parser import parse_program
 from repro.asp.rules import Program
-from repro.asp.solver import AnswerSet, solve
+from repro.asp.solver import SolveResult, solve
+
 from repro.runtime.budget import Budget
 
 __all__ = ["solve_text", "is_satisfiable_text", "solve_program", "is_satisfiable"]
+
+_DEFAULT_MAX_STEPS = 50_000_000
 
 
 def solve_text(
     text: str,
     max_models: Optional[int] = None,
     budget: Optional[Budget] = None,
-) -> List[AnswerSet]:
+    max_steps: int = _DEFAULT_MAX_STEPS,
+    use_fast_path: bool = True,
+) -> SolveResult:
     """Parse, ground, and solve ASP source text."""
-    return solve(parse_program(text), max_models=max_models, budget=budget)
+    return solve(
+        parse_program(text),
+        max_models=max_models,
+        budget=budget,
+        max_steps=max_steps,
+        use_fast_path=use_fast_path,
+    )
 
 
-def is_satisfiable_text(text: str, budget: Optional[Budget] = None) -> bool:
+def is_satisfiable_text(
+    text: str,
+    budget: Optional[Budget] = None,
+    use_fast_path: bool = True,
+) -> bool:
     """True iff the program given as source text has at least one answer set."""
-    return bool(solve_text(text, max_models=1, budget=budget))
+    return bool(
+        solve_text(text, max_models=1, budget=budget, use_fast_path=use_fast_path)
+    )
 
 
 def solve_program(
     program: Program,
     max_models: Optional[int] = None,
     budget: Optional[Budget] = None,
-) -> List[AnswerSet]:
+    max_steps: int = _DEFAULT_MAX_STEPS,
+    use_fast_path: bool = True,
+) -> SolveResult:
     """Ground and solve an in-memory :class:`Program`."""
-    return solve(program, max_models=max_models, budget=budget)
+    return solve(
+        program,
+        max_models=max_models,
+        budget=budget,
+        max_steps=max_steps,
+        use_fast_path=use_fast_path,
+    )
 
 
-def is_satisfiable(program: Program, budget: Optional[Budget] = None) -> bool:
+def is_satisfiable(
+    program: Program,
+    budget: Optional[Budget] = None,
+    use_fast_path: bool = True,
+) -> bool:
     """True iff ``program`` has at least one answer set."""
-    return bool(solve(program, max_models=1, budget=budget))
+    return bool(
+        solve(program, max_models=1, budget=budget, use_fast_path=use_fast_path)
+    )

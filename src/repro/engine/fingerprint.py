@@ -1,0 +1,220 @@
+"""Content-addressed fingerprints for programs, grammars, and contexts.
+
+The serving layer (:mod:`repro.engine`) keys its caches by *content*,
+not identity: two structurally identical programs — whether parsed from
+the same text twice or rebuilt rule-by-rule — must map to the same cache
+entry, and any structural difference (a different term type, a changed
+annotation, reordered rules) must map to a different one.
+
+Fingerprints are hex digests of a canonical typed serialization:
+
+* every term/atom/rule node contributes an unambiguous type tag plus its
+  fields, so ``Constant("1")`` and ``Integer(1)`` (same ``repr``) hash
+  differently;
+* rule *order* is included — the solver's branching heuristics are
+  order-sensitive, and the cache contract is byte-identical results, so
+  two reorderings are simply distinct keys;
+* per-rule digests are memoized (rules are immutable value objects), so
+  re-fingerprinting a program that shares rules with previous ones —
+  the common case in the AGENP loop, where contexts and hypotheses are
+  recombined — costs one table lookup per rule.
+
+The digest algorithm is BLAKE2b (stdlib, fast, keyed off nothing), cut
+to 128 bits: collision probability is negligible for cache sizing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from functools import lru_cache
+from typing import Iterable, Optional, Tuple
+
+from repro.asp.atoms import Atom, Comparison, Literal
+from repro.asp.rules import ChoiceRule, NormalRule, Program, Rule, WeakConstraint
+from repro.asp.terms import ArithTerm, Constant, Function, Integer, Term, Variable
+
+__all__ = [
+    "fingerprint_program",
+    "fingerprint_rule",
+    "fingerprint_rules",
+    "fingerprint_asg",
+    "fingerprint_text",
+    "fingerprint_tokens",
+    "combine",
+]
+
+_DIGEST_SIZE = 16  # bytes; 128-bit digests rendered as 32 hex chars
+
+
+def _new_hasher() -> "hashlib.blake2b":
+    return hashlib.blake2b(digest_size=_DIGEST_SIZE)
+
+
+def _feed_term(h, term: Term) -> None:
+    if isinstance(term, Constant):
+        h.update(b"c")
+        h.update(term.name.encode("utf-8"))
+        h.update(b";")
+    elif isinstance(term, Integer):
+        h.update(b"i")
+        h.update(str(term.value).encode("ascii"))
+        h.update(b";")
+    elif isinstance(term, Variable):
+        h.update(b"v")
+        h.update(term.name.encode("utf-8"))
+        h.update(b";")
+    elif isinstance(term, Function):
+        h.update(b"f")
+        h.update(term.functor.encode("utf-8"))
+        h.update(b":%d;" % len(term.args))
+        for arg in term.args:
+            _feed_term(h, arg)
+    elif isinstance(term, ArithTerm):
+        h.update(b"a")
+        h.update(term.op.encode("ascii"))
+        h.update(b";")
+        _feed_term(h, term.left)
+        _feed_term(h, term.right)
+    else:  # pragma: no cover - future term types must be added explicitly
+        raise TypeError(f"cannot fingerprint term {term!r}")
+
+
+def _feed_atom(h, atom: Atom) -> None:
+    h.update(b"A")
+    h.update(atom.predicate.encode("utf-8"))
+    annotation = atom.annotation
+    if annotation is None:
+        h.update(b":_")
+    else:
+        h.update(b":" + ",".join(str(i) for i in annotation).encode("ascii"))
+    h.update(b":%d;" % len(atom.args))
+    for arg in atom.args:
+        _feed_term(h, arg)
+
+
+def _feed_body(h, body) -> None:
+    h.update(b"B%d;" % len(body))
+    for elem in body:
+        if isinstance(elem, Literal):
+            h.update(b"L+" if elem.positive else b"L-")
+            _feed_atom(h, elem.atom)
+        elif isinstance(elem, Comparison):
+            h.update(b"C")
+            h.update(elem.op.encode("ascii"))
+            h.update(b";")
+            _feed_term(h, elem.left)
+            _feed_term(h, elem.right)
+        else:  # pragma: no cover
+            raise TypeError(f"cannot fingerprint body element {elem!r}")
+
+
+def _rule_digest(rule: Rule) -> bytes:
+    h = _new_hasher()
+    if isinstance(rule, NormalRule):
+        h.update(b"R")
+        if rule.head is None:
+            h.update(b"_")
+        else:
+            _feed_atom(h, rule.head)
+        _feed_body(h, rule.body)
+    elif isinstance(rule, ChoiceRule):
+        h.update(b"K")
+        h.update(
+            b"%s:%s;"
+            % (
+                str(rule.lower).encode("ascii"),
+                str(rule.upper).encode("ascii"),
+            )
+        )
+        h.update(b"E%d;" % len(rule.elements))
+        for atom in rule.elements:
+            _feed_atom(h, atom)
+        _feed_body(h, rule.body)
+    elif isinstance(rule, WeakConstraint):
+        h.update(b"W%d;" % rule.priority)
+        _feed_term(h, rule.weight)
+        _feed_body(h, rule.body)
+    else:  # pragma: no cover
+        raise TypeError(f"cannot fingerprint rule {rule!r}")
+    return h.digest()
+
+
+# Rules are immutable, hashable value objects; equality ignores spans,
+# exactly the identity the digest captures.  A bounded memo turns the
+# common re-fingerprint (same context/hypothesis rules recombined into
+# new programs) into one dict hit per rule.
+_memoized_rule_digest = lru_cache(maxsize=65_536)(_rule_digest)
+
+
+def fingerprint_rule(rule: Rule) -> str:
+    """Stable hex fingerprint of one rule (spans excluded)."""
+    return _memoized_rule_digest(rule).hex()
+
+
+def fingerprint_rules(rules: Iterable[Rule]) -> str:
+    """Stable, order-sensitive hex fingerprint of a rule sequence."""
+    h = _new_hasher()
+    count = 0
+    for rule in rules:
+        h.update(_memoized_rule_digest(rule))
+        count += 1
+    h.update(b"#%d" % count)
+    return h.hexdigest()
+
+
+def fingerprint_program(program: Program) -> str:
+    """Stable hex fingerprint of a :class:`Program` (see module docs)."""
+    return fingerprint_rules(program.rules)
+
+
+def fingerprint_asg(asg) -> str:
+    """Stable hex fingerprint of an ASG: its CFG plus every annotation.
+
+    Productions contribute ``(prod_id, lhs, rhs)`` in registration order
+    (ids are positional, so order is identity); annotation programs
+    contribute their rule digests keyed by production id.
+    """
+    h = _new_hasher()
+    cfg = asg.cfg
+    h.update(b"G")
+    h.update(cfg.start.encode("utf-8"))
+    h.update(b";")
+    for prod in cfg.productions:
+        h.update(b"P%d:" % prod.prod_id)
+        h.update(prod.lhs.encode("utf-8"))
+        for sym in prod.rhs:
+            h.update(b"|")
+            h.update(sym.encode("utf-8"))
+            h.update(b"t" if sym in cfg.terminals else b"n")
+        h.update(b";")
+    for prod_id in sorted(asg.annotations):
+        h.update(b"@%d:" % prod_id)
+        h.update(fingerprint_rules(asg.annotations[prod_id].rules).encode("ascii"))
+    return h.hexdigest()
+
+
+def fingerprint_text(text: str) -> str:
+    """Hex fingerprint of raw source text (the parse-cache key)."""
+    h = _new_hasher()
+    h.update(b"T")
+    h.update(text.encode("utf-8"))
+    return h.hexdigest()
+
+
+def fingerprint_tokens(tokens: Iterable[str]) -> str:
+    """Hex fingerprint of a policy token string."""
+    h = _new_hasher()
+    h.update(b"S")
+    for token in tokens:
+        h.update(token.encode("utf-8"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def combine(*parts: object) -> str:
+    """Combine fingerprints and plain values into one composite key."""
+    h = _new_hasher()
+    for part in parts:
+        h.update(repr(part).encode("utf-8"))
+        h.update(b"\x1f")
+    return h.hexdigest()

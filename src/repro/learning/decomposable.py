@@ -79,11 +79,13 @@ class DecomposableLearner:
         max_rules: int = 6,
         max_violations: int = 0,
         max_nodes: int = 200_000,
+        budget: Optional[Budget] = None,
     ):
         self.task = task
         self.max_rules = max_rules
         self.max_violations = max_violations
         self.max_nodes = max_nodes
+        self.budget = budget
         self._constraints_only = task.constraints_only()
         # static task diagnostics, populated by learn() before the search
         self.diagnostics: List[Diagnostic] = []
@@ -313,7 +315,12 @@ class DecomposableLearner:
         return selected
 
     def learn(self) -> LearnedHypothesis:
-        with _tele_span(
+        scope = (
+            budget_scope(self.budget)
+            if self.budget is not None
+            else contextlib.nullcontext()
+        )
+        with scope, _tele_span(
             "learn.decomposable", space=len(self.task.hypothesis_space)
         ) as sp:
             self.diagnostics = lint_task(self.task)

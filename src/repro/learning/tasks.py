@@ -74,6 +74,7 @@ class ASGLearningTask:
         negative: Sequence[ContextExample],
         context_placement: str = "all",
         max_trees: int = 256,
+        use_fast_path: bool = True,
     ):
         self.initial = initial
         self.hypothesis_space = list(hypothesis_space)
@@ -81,6 +82,7 @@ class ASGLearningTask:
         self.negative = list(negative)
         self.context_placement = context_placement
         self.max_trees = max_trees
+        self.use_fast_path = use_fast_path
         self._grammar_cache: Dict[FrozenSet[tuple], ASG] = {}
         self._oracle_cache: Dict[tuple, bool] = {}
 
@@ -113,7 +115,12 @@ class ASGLearningTask:
             grammar = self._grammar(hypothesis).with_context(
                 example.context, where=self.context_placement
             )
-            cached = accepts(grammar, example.tokens, max_trees=self.max_trees)
+            cached = accepts(
+                grammar,
+                example.tokens,
+                max_trees=self.max_trees,
+                use_fast_path=self.use_fast_path,
+            )
             self._oracle_cache[key] = cached
         return cached
 
@@ -168,12 +175,14 @@ class LASTask:
         positive: Sequence[PartialInterpretation],
         negative: Sequence[PartialInterpretation],
         max_models: int = 64,
+        use_fast_path: bool = True,
     ):
         self.background = background
         self.hypothesis_space = list(hypothesis_space)
         self.positive = list(positive)
         self.negative = list(negative)
         self.max_models = max_models
+        self.use_fast_path = use_fast_path
         self._oracle_cache: Dict[tuple, bool] = {}
 
     def constraints_only(self) -> bool:
@@ -199,7 +208,9 @@ class LASTask:
             return cached
         program = self._program(hypothesis, example.context)
         result = False
-        for model in solve(program, max_models=self.max_models):
+        for model in solve(
+            program, max_models=self.max_models, use_fast_path=self.use_fast_path
+        ):
             if example.covered_by(model):
                 result = True
                 break

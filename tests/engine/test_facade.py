@@ -1,0 +1,75 @@
+"""The blessed top-level API surface and its deprecation shims."""
+
+import warnings
+
+import pytest
+
+import repro
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_blessed_surface():
+    # the serving loop's entry points are all one import away
+    assert {
+        "PolicyEngine",
+        "solve_text",
+        "parse_asg",
+        "lint_paths",
+        "Budget",
+        "tracer_scope",
+    } <= set(repro.__all__)
+
+
+def test_facade_solve_text():
+    result = repro.solve_text("a :- not b. b :- not a.")
+    assert len(result) == 2
+    assert result.stats.models == 2  # SolveResult, not a bare list
+
+
+def test_facade_lint_paths(tmp_path):
+    good = tmp_path / "good.lp"
+    good.write_text("p(1). q(X) :- p(X).\n")
+    diagnostics = repro.lint_paths([good])
+    assert all(not d.is_error for d in diagnostics)
+    missing = repro.lint_paths([tmp_path / "nope.lp"])
+    assert len(missing) == 1 and missing[0].code == "SYN001"
+
+
+def test_facade_engine_roundtrip():
+    engine = repro.PolicyEngine()
+    first = engine.solve_text("a. b :- a.")
+    second = engine.solve_text("a. b :- a.")
+    assert list(first) == list(second)
+    assert engine.stats().caches["solve"]["hits"] == 1
+
+
+@pytest.mark.parametrize("name", ["lint_path", "solve", "Engine"])
+def test_deprecated_names_warn_but_work(name):
+    with pytest.warns(DeprecationWarning, match=f"repro.{name} is deprecated"):
+        value = getattr(repro, name)
+    assert value is not None
+
+
+def test_deprecated_names_resolve_to_canonical_objects():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        from repro.analysis import lint_path as canonical_lint_path
+        from repro.asp.solver import solve as canonical_solve
+
+        assert repro.Engine is repro.PolicyEngine
+        assert repro.lint_path is canonical_lint_path
+        assert repro.solve is canonical_solve
+
+
+def test_unknown_attribute_still_raises():
+    with pytest.raises(AttributeError, match="no attribute"):
+        repro.definitely_not_a_name
+
+
+def test_deprecated_names_in_dir():
+    listing = dir(repro)
+    assert "lint_path" in listing and "PolicyEngine" in listing

@@ -1,0 +1,128 @@
+"""Content-addressing invariants: equal content ⇔ equal fingerprint."""
+
+import pytest
+
+from repro.asp.atoms import Atom, Comparison, Literal
+from repro.asp.parser import parse_program
+from repro.asp.rules import ChoiceRule, NormalRule, Program, WeakConstraint
+from repro.asp.terms import Constant, Integer, Variable
+from repro.asg.asg_parser import parse_asg
+from repro.engine.fingerprint import (
+    combine,
+    fingerprint_asg,
+    fingerprint_program,
+    fingerprint_rule,
+    fingerprint_text,
+    fingerprint_tokens,
+)
+
+ASG_TEXT = """
+start -> elem { :- value(2)@1. }
+elem -> "x" { value(1). }
+elem -> "y" { value(2). }
+"""
+
+
+def test_same_text_same_fingerprint():
+    a = parse_program("p(1). q(X) :- p(X), not r(X).")
+    b = parse_program("p(1). q(X) :- p(X), not r(X).")
+    assert fingerprint_program(a) == fingerprint_program(b)
+
+
+def test_program_method_matches_function():
+    program = parse_program("a :- not b. b :- not a.")
+    assert program.fingerprint() == fingerprint_program(program)
+
+
+def test_rebuilt_program_same_fingerprint():
+    parsed = parse_program("q(X) :- p(X). p(1).")
+    rebuilt = Program(list(parsed.rules))
+    assert fingerprint_program(parsed) == fingerprint_program(rebuilt)
+
+
+def test_rule_order_changes_fingerprint():
+    a = parse_program("a. b.")
+    b = parse_program("b. a.")
+    assert fingerprint_program(a) != fingerprint_program(b)
+
+
+def test_any_structural_change_changes_fingerprint():
+    base = fingerprint_program(parse_program("q(X) :- p(X), not r(X)."))
+    for variant in [
+        "q(X) :- p(X), r(X).",  # flipped sign
+        "q(X) :- p(Y), not r(X).",  # renamed variable
+        "q(X, X) :- p(X), not r(X).",  # changed arity
+        "s(X) :- p(X), not r(X).",  # renamed head predicate
+        "q(X) :- p(X).",  # dropped literal
+    ]:
+        assert fingerprint_program(parse_program(variant)) != base
+
+
+def test_typed_terms_disambiguate():
+    # Constant("1") and Integer(1) repr identically; the typed
+    # serialization must keep them apart.
+    with_const = Program([NormalRule(Atom("p", (Constant("c"),)), [])])
+    with_int = Program([NormalRule(Atom("p", (Integer(1),)), [])])
+    as_const_1 = Program([NormalRule(Atom("p", (Constant("1"),)), [])])
+    fps = {
+        fingerprint_program(with_const),
+        fingerprint_program(with_int),
+        fingerprint_program(as_const_1),
+    }
+    assert len(fps) == 3
+
+
+def test_annotation_changes_fingerprint():
+    plain = Program([NormalRule(Atom("p"), [])])
+    annotated = Program([NormalRule(Atom("p", annotation=(1,)), [])])
+    assert fingerprint_program(plain) != fingerprint_program(annotated)
+
+
+def test_rule_kinds_are_tagged():
+    body = [Literal(Atom("p"), True)]
+    constraint = Program([NormalRule(None, list(body))])
+    choice = Program([ChoiceRule([Atom("q")], list(body), 0, 1)])
+    weak = Program([WeakConstraint(list(body), Integer(1), 0)])
+    fps = {fingerprint_program(p) for p in (constraint, choice, weak)}
+    assert len(fps) == 3
+
+
+def test_choice_bounds_matter():
+    a = Program([ChoiceRule([Atom("q")], [], 0, 1)])
+    b = Program([ChoiceRule([Atom("q")], [], 1, 1)])
+    assert fingerprint_program(a) != fingerprint_program(b)
+
+
+def test_comparison_bodies_fingerprint():
+    a = parse_program("q(X) :- p(X), X > 1. p(1..3).")
+    b = parse_program("q(X) :- p(X), X < 1. p(1..3).")
+    assert fingerprint_program(a) != fingerprint_program(b)
+    assert fingerprint_program(a) == fingerprint_program(
+        parse_program("q(X) :- p(X), X > 1. p(1..3).")
+    )
+
+
+def test_rule_fingerprint_is_stable_across_programs():
+    rule = parse_program("q(X) :- p(X).").rules[0]
+    same = parse_program("a. q(X) :- p(X).").rules[1]
+    assert fingerprint_rule(rule) == fingerprint_rule(same)
+
+
+def test_asg_fingerprint_stable_and_sensitive():
+    a = parse_asg(ASG_TEXT)
+    b = parse_asg(ASG_TEXT)
+    assert fingerprint_asg(a) == fingerprint_asg(b)
+    changed = parse_asg(ASG_TEXT.replace("value(2)", "value(3)"))
+    assert fingerprint_asg(a) != fingerprint_asg(changed)
+
+
+def test_text_and_token_fingerprints():
+    assert fingerprint_text("a.") == fingerprint_text("a.")
+    assert fingerprint_text("a.") != fingerprint_text("a. ")
+    assert fingerprint_tokens(["ab", "c"]) != fingerprint_tokens(["a", "bc"])
+    assert fingerprint_tokens(("x", "y")) == fingerprint_tokens(["x", "y"])
+
+
+def test_combine_is_order_sensitive():
+    assert combine("a", "b") != combine("b", "a")
+    assert combine("a", 1) == combine("a", 1)
